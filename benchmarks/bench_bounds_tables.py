@@ -1,0 +1,73 @@
+"""Benchmarks E7 and E8: the alpha(lambda) and beta(lambda) threshold tables.
+
+These regenerate the closed-form relationships of Theorem 4.5 /
+Corollary 4.6 (compression) and Corollaries 5.3 / 5.8 (expansion); the
+tables are attached to the benchmark records.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import (
+    alpha_for_lambda,
+    beta_for_lambda,
+    compression_lambda_threshold,
+    peierls_tail_bound,
+)
+from repro.constants import COMPRESSION_THRESHOLD, EXPANSION_THRESHOLD
+
+
+def test_alpha_lambda_table(benchmark):
+    lambdas = [3.5, 4.0, 4.5, 5.0, 6.0, 8.0, 10.0]
+
+    def build_table():
+        return [
+            {"lambda": lam, "alpha": alpha_for_lambda(lam)}
+            for lam in lambdas
+        ]
+
+    table = benchmark(build_table)
+    benchmark.extra_info["experiment"] = "E7 (Corollary 4.6)"
+    benchmark.extra_info["table"] = table
+    alphas = [row["alpha"] for row in table]
+    assert all(a > 1 for a in alphas)
+    assert alphas == sorted(alphas, reverse=True)
+    # Round-trip with Theorem 4.5's lambda*(alpha).
+    for row in table:
+        assert abs(compression_lambda_threshold(row["alpha"]) - row["lambda"]) < 1e-9
+
+
+def test_beta_lambda_table(benchmark):
+    lambdas = [0.5, 0.8, 1.0, 1.2, 1.5, 1.8, 2.0, 2.1]
+
+    def build_table():
+        return [
+            {"lambda": lam, "beta": beta_for_lambda(lam)}
+            for lam in lambdas
+        ]
+
+    table = benchmark(build_table)
+    benchmark.extra_info["experiment"] = "E8 (Corollaries 5.3 and 5.8)"
+    benchmark.extra_info["table"] = table
+    betas = [row["beta"] for row in table]
+    assert all(0 < b < 1 for b in betas)
+    # Larger biases guarantee weaker expansion.
+    assert betas[2:] == sorted(betas[2:], reverse=True)
+
+
+def test_peierls_tail_table(benchmark):
+    """The explicit Theorem 4.5 tail bound as a function of system size."""
+    sizes = [100, 400, 1600, 6400, 25_600]
+
+    def build_table():
+        return [
+            {"n": n, "tail_bound": peierls_tail_bound(n, lam=6.0, alpha=4.0)}
+            for n in sizes
+        ]
+
+    table = benchmark(build_table)
+    benchmark.extra_info["experiment"] = "E7 (Theorem 4.5 tail bound)"
+    benchmark.extra_info["table"] = table
+    bounds = [row["tail_bound"] for row in table]
+    assert bounds == sorted(bounds, reverse=True)
+    assert bounds[-1] < 1e-10
+    assert EXPANSION_THRESHOLD < COMPRESSION_THRESHOLD

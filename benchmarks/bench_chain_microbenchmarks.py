@@ -1,0 +1,36 @@
+"""Micro-benchmarks of the chain's inner loop and of the distributed simulator.
+
+These are throughput numbers (iterations per second) rather than paper
+artifacts; they make regressions in the move-legality checks visible.
+"""
+
+from __future__ import annotations
+
+from repro.amoebot.system import AmoebotSystem
+from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.moves import enumerate_valid_moves
+from repro.lattice.shapes import line, random_connected, spiral
+
+
+def test_chain_step_throughput(benchmark):
+    chain = CompressionMarkovChain(line(100), lam=4.0, seed=0)
+    benchmark(chain.run, 2000)
+    benchmark.extra_info["experiment"] = "chain inner loop"
+
+
+def test_amoebot_activation_throughput(benchmark):
+    system = AmoebotSystem(line(100), lam=4.0, seed=0)
+    benchmark(system.run, 2000)
+    benchmark.extra_info["experiment"] = "Algorithm A activations"
+
+
+def test_perimeter_computation(benchmark):
+    configuration = random_connected(400, seed=1)
+    benchmark(lambda: configuration.translate((0, 0)).perimeter)
+    benchmark.extra_info["experiment"] = "perimeter via adjacency counting"
+
+
+def test_valid_move_enumeration(benchmark):
+    configuration = spiral(200)
+    benchmark(enumerate_valid_moves, configuration.nodes)
+    benchmark.extra_info["experiment"] = "move enumeration (spiral 200)"

@@ -1,0 +1,65 @@
+"""Benchmarks E4, E5 and E6: enumeration, Figure 11, Lemma 5.5 constants and SAW counts."""
+
+from __future__ import annotations
+
+import math
+
+from repro.constants import (
+    EXPANSION_THRESHOLD,
+    FIXED_POLYHEX_COUNTS,
+    HEXAGONAL_CONNECTIVE_CONSTANT,
+    N50,
+    THREE_PARTICLE_CONFIGURATIONS,
+)
+from repro.lattice.enumeration import count_configurations, count_configurations_by_perimeter
+from repro.lattice.saw import count_self_avoiding_walks, estimate_connective_constant
+from repro.analysis.counting import staircase_lower_bound, verify_lemma_4_4
+
+
+def test_enumeration_of_small_configurations(benchmark):
+    """E4: regenerate the polyhex counting series (Figure 11 is the n=3 row)."""
+
+    def enumerate_series():
+        return [count_configurations(n) for n in range(1, 7)]
+
+    series = benchmark.pedantic(enumerate_series, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E4 (Figure 11 / Lemma 5.4)"
+    benchmark.extra_info["series"] = series
+    assert series == list(FIXED_POLYHEX_COUNTS[:6])
+    assert series[2] == THREE_PARTICLE_CONFIGURATIONS
+
+
+def test_perimeter_stratified_counts(benchmark):
+    """E4/E8: the c_k table used by both Peierls arguments, plus Lemma 5.1's bound."""
+    counts = benchmark.pedantic(
+        count_configurations_by_perimeter, args=(6,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = "E4 (c_k table, n=6)"
+    benchmark.extra_info["counts"] = counts
+    assert counts[2 * 6 - 2] >= staircase_lower_bound(6)
+    assert verify_lemma_4_4(6, nu=3.6)
+
+
+def test_lemma_5_5_constant(benchmark):
+    """E5: the N50-derived expansion threshold 2.17."""
+
+    def threshold():
+        return (2 * N50) ** (1.0 / 100.0)
+
+    value = benchmark(threshold)
+    benchmark.extra_info["experiment"] = "E5 (Lemma 5.5 / 5.6)"
+    benchmark.extra_info["threshold"] = value
+    assert math.isclose(value, EXPANSION_THRESHOLD, rel_tol=1e-12)
+    assert 2.17 < value < 2.18
+
+
+def test_self_avoiding_walk_counts(benchmark):
+    """E6: honeycomb SAW counts converging toward the connective constant of Theorem 4.2."""
+    counts = benchmark.pedantic(count_self_avoiding_walks, args=(14,), rounds=1, iterations=1)
+    estimate = estimate_connective_constant(14)
+    benchmark.extra_info["experiment"] = "E6 (Theorem 4.2)"
+    benchmark.extra_info["walk_counts"] = counts
+    benchmark.extra_info["connective_constant_estimate"] = estimate
+    benchmark.extra_info["connective_constant_exact"] = HEXAGONAL_CONNECTIVE_CONSTANT
+    assert counts[1] == 3
+    assert HEXAGONAL_CONNECTIVE_CONSTANT < estimate < 1.05 * HEXAGONAL_CONNECTIVE_CONSTANT

@@ -1,0 +1,42 @@
+"""Benchmarks E1 and E2: the Figure 2 / Figure 10 simulation workloads.
+
+Figure 2: 100 particles starting in a line compress visibly under
+``lambda = 4``.  Figure 10: the same system under ``lambda = 2`` stays
+expanded.  The default workloads are scaled down from the paper's millions
+of iterations so the benchmark suite stays laptop-friendly; the shape of
+the result (who compresses, who does not) is asserted, and the measured
+series are attached to the benchmark records via ``extra_info``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_fig2_compression, run_fig10_expansion
+
+N = 60
+ITERATIONS = 200_000
+
+
+def test_fig2_compression_lambda4(benchmark):
+    record = benchmark.pedantic(
+        run_fig2_compression,
+        kwargs=dict(n=N, lam=4.0, iterations=ITERATIONS, snapshots=5, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = "E1 (Figure 2)"
+    benchmark.extra_info["perimeter_snapshots"] = record.results["perimeter_snapshots"]
+    benchmark.extra_info["final_alpha"] = record.results["alpha_snapshots"][-1]
+    assert record.results["final_perimeter"] < 0.7 * record.results["initial_perimeter"]
+
+
+def test_fig10_no_compression_lambda2(benchmark):
+    record = benchmark.pedantic(
+        run_fig10_expansion,
+        kwargs=dict(n=N, lam=2.0, iterations=ITERATIONS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = "E2 (Figure 10)"
+    benchmark.extra_info["final_beta"] = record.results["final_beta"]
+    assert record.results["final_beta"] > 0.4
+    assert record.results["final_perimeter"] > 0.7 * record.results["initial_perimeter"]

@@ -1,0 +1,50 @@
+"""Benchmarks E10 and E14: compression-time scaling and the lambda sweep.
+
+E10 measures iterations-to-compression across system sizes and fits the
+power law (the paper conjectures Theta(n^3)-O(n^4), i.e. roughly a
+ten-fold increase per doubling).  E14 sweeps lambda across both proven
+regimes and records the final perimeter ratios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import scaling_study
+from repro.analysis.experiments import run_lambda_sweep
+
+
+def test_compression_time_scaling(benchmark):
+    result = benchmark.pedantic(
+        scaling_study,
+        kwargs=dict(
+            sizes=[10, 14, 18],
+            lam=5.0,
+            alpha=2.0,
+            repetitions=1,
+            budget_factor=150.0,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = "E10 (Section 3.7 scaling conjecture)"
+    benchmark.extra_info["sizes"] = result.sizes
+    benchmark.extra_info["times"] = result.times
+    benchmark.extra_info["fitted_exponent"] = result.exponent
+    # Compression time grows with system size.
+    measured = [t for t in result.times if t == t]  # drop NaNs
+    assert len(measured) >= 2
+    assert measured[-1] > measured[0]
+
+
+def test_lambda_sweep(benchmark):
+    record = benchmark.pedantic(
+        run_lambda_sweep,
+        kwargs=dict(n=40, lambdas=(1.5, 2.0, 3.0, 4.0, 6.0), iterations=80_000, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["experiment"] = "E14 (phase behaviour sweep)"
+    benchmark.extra_info["rows"] = record.results["rows"]
+    rows = record.results["rows"]
+    assert rows[0]["final_perimeter"] > rows[-1]["final_perimeter"]
+    assert rows[-1]["alpha"] < rows[0]["alpha"]

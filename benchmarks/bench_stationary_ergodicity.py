@@ -1,0 +1,83 @@
+"""Benchmarks E9 and E11: exact stationary analysis and ergodicity checks.
+
+E9 rebuilds the exact chain for a small system and confirms Lemma 3.13
+(stationary distribution), detailed balance, irreducibility and
+aperiodicity.  E11 regenerates certified line-formation witnesses
+(Lemma 3.7) and checks hole transience (Lemma 3.8) on the exact chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.line_formation import moves_to_line
+from repro.analysis.mixing import empirical_distribution, spectral_gap, total_variation_distance
+from repro.core.stationary import (
+    build_state_space,
+    exact_stationary_distribution,
+    transition_matrix,
+    verify_aperiodicity,
+    verify_detailed_balance,
+    verify_irreducibility,
+    verify_transience_of_holes,
+)
+from repro.lattice.shapes import random_connected, ring
+
+
+def test_exact_stationary_analysis_n5(benchmark):
+    def analyse():
+        space = build_state_space(5)
+        matrix = transition_matrix(space, lam=4.0)
+        distribution = exact_stationary_distribution(space, lam=4.0)
+        return space, matrix, distribution
+
+    space, matrix, distribution = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E9 (Lemma 3.13)"
+    benchmark.extra_info["states"] = space.size
+    benchmark.extra_info["spectral_gap"] = spectral_gap(matrix)
+    assert verify_detailed_balance(space, matrix, distribution)
+    assert verify_irreducibility(space, matrix)
+    assert verify_aperiodicity(space, matrix)
+    assert np.allclose(distribution @ matrix, distribution, atol=1e-12)
+
+
+def test_empirical_vs_exact_distribution_n3(benchmark):
+    space = build_state_space(3)
+    exact = exact_stationary_distribution(space, lam=3.0)
+
+    def sample():
+        return empirical_distribution(
+            space, lam=3.0, iterations=80_000, burn_in=5_000, sample_every=5, seed=1
+        )
+
+    empirical = benchmark.pedantic(sample, rounds=1, iterations=1)
+    distance = total_variation_distance(exact, empirical)
+    benchmark.extra_info["experiment"] = "E9 (simulation vs Lemma 3.13)"
+    benchmark.extra_info["tv_distance"] = distance
+    assert distance < 0.08
+
+
+def test_hole_transience_n6(benchmark):
+    def analyse():
+        space = build_state_space(6)
+        matrix = transition_matrix(space, lam=4.0)
+        return space, matrix
+
+    space, matrix = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E11 (Lemmas 3.2 and 3.8)"
+    assert verify_transience_of_holes(space, matrix)
+
+
+def test_line_formation_witnesses(benchmark):
+    """E11: certified Lemma 3.7 witnesses for a batch of configurations."""
+    starts = [ring(1), random_connected(8, seed=3), random_connected(9, seed=11)]
+
+    def build_witnesses():
+        return [moves_to_line(configuration) for configuration in starts]
+
+    results = benchmark.pedantic(build_witnesses, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = "E11 (Lemma 3.7 witnesses)"
+    benchmark.extra_info["witness_lengths"] = [result.length for result in results]
+    for result in results:
+        final = result.configurations[-1]
+        assert final.perimeter == 2 * final.n - 2

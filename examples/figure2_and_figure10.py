@@ -1,0 +1,58 @@
+"""Reproduce Figures 2 and 10: compression at lambda=4 versus non-compression at lambda=2.
+
+Run with::
+
+    python examples/figure2_and_figure10.py [--full]
+
+The default workload uses 100 particles and 500k iterations per regime so
+the script finishes in a few minutes; ``--full`` uses the paper's 5M/20M
+iteration counts (slow).  SVG snapshots are written next to this script.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import CompressionSimulation, ExpansionSimulation
+from repro.viz.ascii_art import render_trace_sparkline
+from repro.viz.svg import save_svg
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def run_regime(label: str, lam: float, n: int, iterations: int, snapshots: int) -> None:
+    print(f"\n=== {label}: n={n}, lambda={lam}, {iterations} iterations ===")
+    if lam > 2.5:
+        simulation = CompressionSimulation.from_line(n, lam=lam, seed=0)
+    else:
+        simulation = ExpansionSimulation.from_line(n, lam=lam, seed=0)
+    block = iterations // snapshots
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    for snapshot in range(1, snapshots + 1):
+        simulation.run(block, record_every=max(1, block // 10))
+        configuration = simulation.configuration
+        path = OUTPUT_DIR / f"{label}_snapshot_{snapshot}.svg"
+        save_svg(configuration, path)
+        print(
+            f"  after {simulation.chain.iterations:>9,d} iterations: "
+            f"p = {configuration.perimeter:4d}  alpha = {simulation.compression_ratio():5.2f}  "
+            f"beta = {simulation.expansion_ratio():4.2f}   -> {path.name}"
+        )
+    print(f"  perimeter trace: {render_trace_sparkline(simulation.trace.perimeters())}")
+
+
+def main(full_scale: bool = False) -> None:
+    n = 100
+    iterations = 5_000_000 if full_scale else 500_000
+    run_regime("figure2_lambda4", lam=4.0, n=n, iterations=iterations, snapshots=5)
+    expansion_iterations = 20_000_000 if full_scale else 500_000
+    run_regime("figure10_lambda2", lam=2.0, n=n, iterations=expansion_iterations, snapshots=4)
+    print(
+        "\nExpected shape (paper): the lambda=4 run collapses into a compact blob while "
+        "the lambda=2 run stays spread out with perimeter a constant fraction of 2n-2."
+    )
+
+
+if __name__ == "__main__":
+    main(full_scale="--full" in sys.argv)

@@ -1,0 +1,42 @@
+"""Sweep the bias parameter across both proven regimes (experiment E14).
+
+Run with::
+
+    python examples/lambda_sweep.py
+
+Prints a table of final perimeter ratios for lambdas straddling the proven
+expansion regime (lambda < 2.17), the conjectured phase-transition window,
+and the proven compression regime (lambda > 2 + sqrt(2) ~ 3.41).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_lambda_sweep
+from repro.constants import COMPRESSION_THRESHOLD, EXPANSION_THRESHOLD
+
+
+def main() -> None:
+    lambdas = (1.2, 1.7, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0)
+    record = run_lambda_sweep(n=60, lambdas=lambdas, iterations=200_000, seed=0)
+    print("lambda   regime                    final p   alpha    beta")
+    print("-" * 62)
+    for row in record.results["rows"]:
+        lam = row["lambda"]
+        if lam < EXPANSION_THRESHOLD:
+            regime = "proven expansion"
+        elif lam <= COMPRESSION_THRESHOLD:
+            regime = "open (conjectured critical)"
+        else:
+            regime = "proven compression"
+        print(
+            f"{lam:5.2f}   {regime:<26}{row['final_perimeter']:7.0f}  "
+            f"{row['alpha']:6.2f}  {row['beta']:6.2f}"
+        )
+    print(
+        f"\nThresholds: expansion below {EXPANSION_THRESHOLD:.3f}, compression above "
+        f"{COMPRESSION_THRESHOLD:.3f}; the paper conjectures a single critical lambda in between."
+    )
+
+
+if __name__ == "__main__":
+    main()

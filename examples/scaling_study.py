@@ -1,0 +1,36 @@
+"""Measure how the time to compression scales with the number of particles (Section 3.7).
+
+Run with::
+
+    python examples/scaling_study.py
+
+The paper reports that doubling the number of particles increases the
+iterations until compression roughly ten-fold, suggesting Theta(n^3) to
+O(n^4) scaling.  This script measures compression times for a few sizes
+and fits the power-law exponent.  Expect a few minutes of runtime.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import scaling_study
+
+
+def main() -> None:
+    sizes = [10, 15, 20, 30]
+    print(f"Measuring iterations until 2-compression for n in {sizes} (lambda = 5)")
+    result = scaling_study(
+        sizes=sizes, lam=5.0, alpha=2.0, repetitions=2, budget_factor=200.0, seed=0
+    )
+    print("\n   n    mean iterations to alpha=2 compression")
+    for n, time in zip(result.sizes, result.times):
+        label = f"{time:12.0f}" if time == time else "   (budget exhausted)"
+        print(f"  {n:3d}   {label}")
+    if result.exponent is not None:
+        print(f"\nFitted power law: iterations ~ {result.prefactor:.2f} * n^{result.exponent:.2f}")
+        print("Paper's conjecture: exponent between 3 and 4.")
+    else:
+        print("\nNot enough successful measurements to fit an exponent.")
+
+
+if __name__ == "__main__":
+    main()

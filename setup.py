@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` and ``python setup.py develop`` work in
+offline environments where the ``wheel`` package (needed for PEP 660
+editable installs) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

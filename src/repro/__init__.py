@@ -1,0 +1,65 @@
+"""repro: a reproduction of "A Markov Chain Algorithm for Compression in
+Self-Organizing Particle Systems" (Cannon, Daymude, Randall, Richa).
+
+The package provides:
+
+* :mod:`repro.lattice` — the triangular-lattice substrate ``G_Delta``:
+  configurations, perimeters, holes, enumeration, the hexagonal dual and
+  self-avoiding walks;
+* :mod:`repro.core` — the compression Markov chain (Algorithm M), its move
+  rules (Properties 1 and 2), the Metropolis machinery, the high-level
+  simulation API and exact stationary-distribution analysis;
+* :mod:`repro.amoebot` — the geometric amoebot model and the distributed
+  local algorithm (Algorithm A), with fault injection;
+* :mod:`repro.algorithms` — the expansion regime, ergodicity witnesses, a
+  leader-based baseline and the separation / bridging / phototaxing
+  extensions;
+* :mod:`repro.analysis` — metrics, counting, partition-function bounds,
+  Peierls thresholds, mixing diagnostics, scaling studies and the
+  experiment harness;
+* :mod:`repro.viz` and :mod:`repro.io` — dependency-free rendering and
+  JSON serialization.
+
+Quickstart
+----------
+>>> from repro import CompressionSimulation
+>>> simulation = CompressionSimulation.from_line(50, lam=4.0, seed=0)
+>>> _ = simulation.run(100_000)
+>>> simulation.compression_ratio() < 4.0
+True
+"""
+
+from repro.constants import (
+    COMPRESSION_THRESHOLD,
+    EXPANSION_THRESHOLD,
+    HEXAGONAL_CONNECTIVE_CONSTANT,
+    N50,
+)
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.shapes import hexagon, line, random_connected, ring, spiral, staircase
+from repro.core.compression import CompressionSimulation, CompressionTrace
+from repro.core.markov_chain import CompressionMarkovChain
+from repro.amoebot.system import AmoebotSystem
+from repro.algorithms.expansion import ExpansionSimulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COMPRESSION_THRESHOLD",
+    "EXPANSION_THRESHOLD",
+    "HEXAGONAL_CONNECTIVE_CONSTANT",
+    "N50",
+    "ParticleConfiguration",
+    "hexagon",
+    "line",
+    "random_connected",
+    "ring",
+    "spiral",
+    "staircase",
+    "CompressionSimulation",
+    "CompressionTrace",
+    "CompressionMarkovChain",
+    "AmoebotSystem",
+    "ExpansionSimulation",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""A leader-based hexagon formation baseline (in the spirit of [19, 20]).
+
+The paper contrasts its fully decentralized stochastic approach with the
+earlier amoebot algorithms for hexagon shape formation, which rely on a
+leader particle coordinating the system.  This module provides such a
+baseline so experiments can compare the two styles:
+
+* a *leader* is chosen (here: the particle at the lexicographically
+  smallest position — a stand-in for the distributed leader-election
+  algorithms of [16], which are outside the scope of this reproduction and
+  documented as a substitution in DESIGN.md);
+* the target shape is the minimum-perimeter spiral around the leader;
+* particles are routed to target slots one at a time along the outside of
+  the already-built shape, each step being a single-node displacement on
+  the lattice.
+
+The result records the number of single-particle moves needed, giving a
+deterministic "moves to perfect compression" yardstick against which the
+stochastic algorithm's convergence (experiment E10) can be judged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import AlgorithmError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.shapes import spiral
+from repro.lattice.triangular import Node, add, hex_distance, neighbors
+
+
+@dataclass(frozen=True)
+class HexagonFormationResult:
+    """Outcome of the leader-based hexagon formation baseline.
+
+    Attributes
+    ----------
+    leader:
+        The leader particle's (initial) position.
+    target:
+        The final configuration (a minimum-perimeter spiral containing the
+        leader's position).
+    total_moves:
+        Total number of single-node particle displacements performed.
+    relocated_particles:
+        Number of particles that had to move at all.
+    """
+
+    leader: Node
+    target: ParticleConfiguration
+    total_moves: int
+    relocated_particles: int
+
+
+def hexagon_formation(configuration: ParticleConfiguration) -> HexagonFormationResult:
+    """Form a minimum-perimeter spiral around a leader, counting particle moves.
+
+    The routing is deliberately simple: target slots are filled in spiral
+    order; for each unfilled slot the nearest particle not already on a
+    final slot is routed to it along a shortest path that avoids finalized
+    slots (path length counted as moves).  This is an idealization of the
+    leader-coordinated algorithms of [19, 20] — it under-counts their
+    communication rounds but captures the "deterministic, coordinated,
+    moves-scale-linearly" character that the paper contrasts with the
+    oblivious stochastic approach.
+    """
+    if not configuration.is_connected:
+        raise AlgorithmError("hexagon formation requires a connected configuration")
+    nodes = set(configuration.nodes)
+    leader = min(nodes, key=lambda node: (node[1], node[0]))
+    # Build the target spiral translated so that it contains the leader.
+    template = spiral(len(nodes))
+    template_anchor = min(template.nodes, key=lambda node: (hex_distance((0, 0), node), node))
+    offset = (leader[0] - template_anchor[0], leader[1] - template_anchor[1])
+    target_nodes = [add(node, offset) for node in template.nodes]
+    # Fill slots closest to the leader first (spiral order).
+    target_order = sorted(target_nodes, key=lambda node: (hex_distance(leader, node), node))
+
+    current = set(nodes)
+    finalized: Set[Node] = set()
+    total_moves = 0
+    relocated = 0
+    for slot in target_order:
+        if slot in current:
+            finalized.add(slot)
+            continue
+        source = _nearest_movable_particle(current, finalized, slot)
+        if source is None:
+            raise AlgorithmError("no movable particle found; this is a bug")
+        path_length = _shortest_path_length(source, slot, blocked=finalized)
+        if path_length is None:
+            raise AlgorithmError("target slot unreachable; this is a bug")
+        current.discard(source)
+        current.add(slot)
+        finalized.add(slot)
+        total_moves += path_length
+        relocated += 1
+    return HexagonFormationResult(
+        leader=leader,
+        target=ParticleConfiguration(current),
+        total_moves=total_moves,
+        relocated_particles=relocated,
+    )
+
+
+def _nearest_movable_particle(
+    current: Set[Node], finalized: Set[Node], slot: Node
+) -> Optional[Node]:
+    candidates = [node for node in current if node not in finalized]
+    if not candidates:
+        return None
+    return min(candidates, key=lambda node: (hex_distance(node, slot), node))
+
+
+def _shortest_path_length(
+    source: Node, target: Node, blocked: Set[Node]
+) -> Optional[int]:
+    """BFS shortest path length from ``source`` to ``target`` avoiding ``blocked`` nodes."""
+    if source == target:
+        return 0
+    seen = {source}
+    queue: deque[Tuple[Node, int]] = deque([(source, 0)])
+    while queue:
+        node, distance = queue.popleft()
+        for nb in neighbors(node):
+            if nb == target:
+                return distance + 1
+            if nb in seen or nb in blocked:
+                continue
+            seen.add(nb)
+            queue.append((nb, distance + 1))
+    return None

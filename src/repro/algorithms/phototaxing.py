@@ -1,0 +1,184 @@
+"""Phototaxing: collective drift from light-dependent activity, after [50].
+
+Savoie et al. observed that a swarm of "supersmarticle" robots with no
+sense of direction nonetheless drifts relative to a light source when
+individual robots modulate how much they move in response to light.  The
+companion theory uses an amoebot-style particle system in which a
+particle's activity depends on whether it is illuminated.
+
+This module reproduces the mechanism on top of the compression system:
+light arrives from a direction; particles on the lit side of the swarm are
+"dazzled" and activate at a reduced rate (or, equivalently, the shaded
+particles are more active).  Because only boundary particles on the lit
+side slow down while the shaded boundary keeps rearranging, the center of
+mass drifts — no individual particle ever knows where the light is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.amoebot.system import AmoebotSystem
+from repro.errors import AlgorithmError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.triangular import Node, to_cartesian
+from repro.rng import RandomState
+
+
+@dataclass(frozen=True)
+class DriftSample:
+    """Center-of-mass sample recorded while a phototaxing run progresses."""
+
+    activations: int
+    centroid: Tuple[float, float]
+
+
+class PhototaxingSystem:
+    """An amoebot compression system with light-dependent activation rates.
+
+    Parameters
+    ----------
+    initial:
+        Starting configuration.
+    lam:
+        Compression bias (kept above the compression threshold so the swarm
+        stays gathered while it drifts).
+    light_direction:
+        Unit-ish vector (in Cartesian coordinates) pointing *from* the light
+        source toward the swarm; particles facing the light are slowed.
+    dazzle_factor:
+        Multiplicative activity reduction for illuminated particles,
+        in ``(0, 1]``; 1 disables the light response (control runs).
+    seed:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        initial: ParticleConfiguration,
+        lam: float = 4.0,
+        light_direction: Tuple[float, float] = (1.0, 0.0),
+        dazzle_factor: float = 0.25,
+        seed: RandomState = None,
+    ) -> None:
+        if not 0 < dazzle_factor <= 1:
+            raise AlgorithmError(f"dazzle_factor must lie in (0, 1], got {dazzle_factor}")
+        norm = float(np.hypot(*light_direction))
+        if norm == 0:
+            raise AlgorithmError("light_direction must be a non-zero vector")
+        self.light_direction = (light_direction[0] / norm, light_direction[1] / norm)
+        self.dazzle_factor = float(dazzle_factor)
+        self.lam = float(lam)
+        self._seed = seed
+        self._system = AmoebotSystem(initial, lam=lam, seed=seed)
+        self._rates_epoch_activations = 0
+        self.samples: List[DriftSample] = [
+            DriftSample(activations=0, centroid=self.centroid())
+        ]
+        self._refresh_rates()
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    @property
+    def system(self) -> AmoebotSystem:
+        """The underlying amoebot system."""
+        return self._system
+
+    @property
+    def configuration(self) -> ParticleConfiguration:
+        """The current (tail) configuration."""
+        return self._system.configuration
+
+    def centroid(self) -> Tuple[float, float]:
+        """Cartesian center of mass of the swarm."""
+        points = [to_cartesian(p.tail) for p in self._system.particles.values()]
+        xs = sum(p[0] for p in points) / len(points)
+        ys = sum(p[1] for p in points) / len(points)
+        return (xs, ys)
+
+    def drift(self) -> float:
+        """Signed displacement of the centroid along the light direction since the start.
+
+        Positive values mean the swarm moved *away* from the light source.
+        """
+        start = self.samples[0].centroid
+        now = self.centroid()
+        dx, dy = now[0] - start[0], now[1] - start[1]
+        return dx * self.light_direction[0] + dy * self.light_direction[1]
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def run(self, activations: int, refresh_every: int = 500) -> None:
+        """Run the system, periodically refreshing the illumination-dependent rates.
+
+        Illumination is recomputed every ``refresh_every`` activations: a
+        particle is illuminated when its projection onto the light
+        direction is on the lit half of the swarm.  Rate changes are
+        applied by rebuilding the scheduler's pause set indirectly — the
+        simulator's scheduler supports per-particle rates only at
+        construction, so the refresh rebuilds the system state in place by
+        adjusting which particles are slowed via rejection sampling inside
+        :meth:`step` of this wrapper.
+        """
+        if activations < 0:
+            raise AlgorithmError("activations must be non-negative")
+        if refresh_every <= 0:
+            raise AlgorithmError("refresh_every must be positive")
+        done = 0
+        while done < activations:
+            block = min(refresh_every, activations - done)
+            for _ in range(block):
+                self._step_with_dazzle()
+            done += block
+            self._refresh_rates()
+            self.samples.append(
+                DriftSample(activations=self._system.stats.activations, centroid=self.centroid())
+            )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _step_with_dazzle(self) -> None:
+        """Deliver one activation, thinning illuminated particles' activity.
+
+        Thinning a Poisson process by an acceptance probability is
+        equivalent to lowering its rate, so skipping an illuminated
+        particle's activation with probability ``1 - dazzle_factor``
+        faithfully models its reduced activity without rebuilding the
+        scheduler.
+        """
+        activation = self._system.scheduler.next()
+        particle = self._system.particles[activation.particle_id]
+        self._system.stats.activations += 1
+        if particle.identifier in self._dazzled and (
+            self._system._rng.random() > self.dazzle_factor
+        ):
+            self._system.stats.idle_activations += 1
+            return
+        if particle.crashed:
+            self._system.stats.idle_activations += 1
+            return
+        view = self._system._view(particle)
+        action = self._system.algorithm.on_activate(view, self._system._rng)
+        self._system._apply(particle, action)
+
+    def _refresh_rates(self) -> None:
+        projections: Dict[int, float] = {}
+        for identifier, particle in self._system.particles.items():
+            x, y = to_cartesian(particle.tail)
+            projections[identifier] = -(
+                x * self.light_direction[0] + y * self.light_direction[1]
+            )
+        # Particles whose projection toward the light is above the median
+        # are considered illuminated.
+        median = float(np.median(list(projections.values())))
+        self._dazzled = {
+            identifier
+            for identifier, projection in projections.items()
+            if projection >= median
+        }

@@ -1,0 +1,253 @@
+"""Separation of heterogeneous (colored) particle systems, after [9].
+
+The paper's conclusion describes the separation problem: particles carry
+colors and the goal is for the colors either to intermingle or to
+segregate into monochromatic clusters, controlled by two biases.  Cannon,
+Daymude, Gokmen, Randall and Richa [9] solve it with the same stochastic
+approach used for compression.  This module implements that chain:
+
+* the state is a connected configuration plus a color per particle;
+* a *movement* move is exactly a compression move, accepted with
+  probability ``min(1, lambda^(e'-e) * gamma^(a'-a))`` where ``a`` counts
+  same-color (homogeneous) edges;
+* a *swap* move exchanges the colors of two adjacent particles, accepted
+  with probability ``min(1, gamma^(a'-a))``.
+
+For ``gamma > 1`` the chain favors homogeneous neighborhoods
+(segregation); ``gamma < 1`` favors mixed neighborhoods (integration); and
+``lambda`` plays its usual compression role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
+from repro.core.properties import satisfies_either_property
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.triangular import DIRECTIONS, Node, add, neighbors
+from repro.rng import RandomState, make_rng
+
+
+@dataclass(frozen=True)
+class ColoredConfiguration:
+    """A particle configuration together with an integer color per node."""
+
+    colors: Dict[Node, int]
+
+    def __post_init__(self) -> None:
+        if not self.colors:
+            raise ConfigurationError("a colored configuration must contain at least one particle")
+
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        """The occupied nodes."""
+        return frozenset(self.colors)
+
+    @property
+    def configuration(self) -> ParticleConfiguration:
+        """The underlying (uncolored) configuration."""
+        return ParticleConfiguration(self.colors)
+
+    def color_counts(self) -> Dict[int, int]:
+        """Number of particles of each color."""
+        counts: Dict[int, int] = {}
+        for color in self.colors.values():
+            counts[color] = counts.get(color, 0) + 1
+        return counts
+
+    def homogeneous_edges(self) -> int:
+        """Number of induced edges whose endpoints have the same color."""
+        count = 0
+        for node, color in self.colors.items():
+            x, y = node
+            for nb in ((x + 1, y), (x, y + 1), (x - 1, y + 1)):
+                if self.colors.get(nb) == color:
+                    count += 1
+        return count
+
+    def heterogeneous_edges(self) -> int:
+        """Number of induced edges whose endpoints have different colors."""
+        return self.configuration.edge_count - self.homogeneous_edges()
+
+    @classmethod
+    def halves(cls, configuration: ParticleConfiguration) -> "ColoredConfiguration":
+        """Color the left half of the configuration 0 and the right half 1 (a segregated start)."""
+        ordered = sorted(configuration.nodes)
+        half = len(ordered) // 2
+        colors = {node: (0 if index < half else 1) for index, node in enumerate(ordered)}
+        return cls(colors)
+
+    @classmethod
+    def random_colors(
+        cls,
+        configuration: ParticleConfiguration,
+        num_colors: int = 2,
+        seed: RandomState = None,
+    ) -> "ColoredConfiguration":
+        """Assign colors uniformly at random (a well-mixed start)."""
+        if num_colors < 1:
+            raise ConfigurationError("need at least one color")
+        rng = make_rng(seed)
+        colors = {
+            node: int(rng.integers(0, num_colors)) for node in sorted(configuration.nodes)
+        }
+        return cls(colors)
+
+
+class SeparationMarkovChain:
+    """The separation chain of [9]: compression bias ``lam``, homogeneity bias ``gamma``.
+
+    Parameters
+    ----------
+    initial:
+        Colored starting configuration (underlying configuration must be
+        connected).
+    lam:
+        Compression bias; ``lam > 2 + sqrt(2)`` keeps the system compressed.
+    gamma:
+        Homogeneity bias; ``gamma > 1`` favors separation into
+        monochromatic clusters, ``gamma < 1`` favors integration.
+    swap_probability:
+        Probability that an iteration attempts a color swap instead of a
+        particle movement.
+    """
+
+    def __init__(
+        self,
+        initial: ColoredConfiguration,
+        lam: float,
+        gamma: float,
+        swap_probability: float = 0.5,
+        seed: RandomState = None,
+    ) -> None:
+        if lam <= 0 or gamma <= 0:
+            raise AlgorithmError("lam and gamma must be positive")
+        if not 0 <= swap_probability <= 1:
+            raise AlgorithmError("swap_probability must lie in [0, 1]")
+        if not initial.configuration.is_connected:
+            raise ConfigurationError("the initial configuration must be connected")
+        self.lam = float(lam)
+        self.gamma = float(gamma)
+        self.swap_probability = float(swap_probability)
+        self._rng = make_rng(seed)
+        self._colors: Dict[Node, int] = dict(initial.colors)
+        self._positions: List[Node] = sorted(self._colors)
+        self._iterations = 0
+        self._accepted_moves = 0
+        self._accepted_swaps = 0
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> ColoredConfiguration:
+        """The current colored configuration."""
+        return ColoredConfiguration(dict(self._colors))
+
+    @property
+    def iterations(self) -> int:
+        """Iterations performed so far."""
+        return self._iterations
+
+    @property
+    def accepted_moves(self) -> int:
+        """Accepted particle movements."""
+        return self._accepted_moves
+
+    @property
+    def accepted_swaps(self) -> int:
+        """Accepted color swaps."""
+        return self._accepted_swaps
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def step(self) -> None:
+        """Perform one iteration: a movement attempt or a color-swap attempt."""
+        self._iterations += 1
+        if self._rng.random() < self.swap_probability:
+            self._swap_step()
+        else:
+            self._movement_step()
+
+    def run(self, iterations: int) -> None:
+        """Perform a number of iterations."""
+        if iterations < 0:
+            raise AlgorithmError("iterations must be non-negative")
+        for _ in range(iterations):
+            self.step()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _movement_step(self) -> None:
+        rng = self._rng
+        index = int(rng.integers(0, len(self._positions)))
+        source = self._positions[index]
+        target = add(source, DIRECTIONS[int(rng.integers(0, 6))])
+        occupied = self._colors
+        if target in occupied:
+            return
+        e_before = sum(1 for nb in neighbors(source) if nb in occupied)
+        if e_before == FORBIDDEN_NEIGHBOR_COUNT:
+            return
+        e_after = sum(1 for nb in neighbors(target) if nb in occupied and nb != source)
+        if not satisfies_either_property(occupied.keys(), source, target):
+            return
+        color = occupied[source]
+        a_before = sum(1 for nb in neighbors(source) if occupied.get(nb) == color)
+        a_after = sum(
+            1 for nb in neighbors(target) if nb != source and occupied.get(nb) == color
+        )
+        acceptance = min(
+            1.0, (self.lam ** (e_after - e_before)) * (self.gamma ** (a_after - a_before))
+        )
+        if rng.random() >= acceptance:
+            return
+        del occupied[source]
+        occupied[target] = color
+        self._positions[index] = target
+        self._accepted_moves += 1
+
+    def _swap_step(self) -> None:
+        rng = self._rng
+        index = int(rng.integers(0, len(self._positions)))
+        source = self._positions[index]
+        target = add(source, DIRECTIONS[int(rng.integers(0, 6))])
+        occupied = self._colors
+        if target not in occupied:
+            return
+        color_a, color_b = occupied[source], occupied[target]
+        if color_a == color_b:
+            return
+        delta = self._swap_homogeneity_delta(source, target)
+        acceptance = min(1.0, self.gamma ** delta)
+        if rng.random() >= acceptance:
+            return
+        occupied[source], occupied[target] = color_b, color_a
+        self._accepted_swaps += 1
+
+    def _swap_homogeneity_delta(self, source: Node, target: Node) -> int:
+        occupied = self._colors
+
+        def local_homogeneous() -> int:
+            count = 0
+            for node in (source, target):
+                color = occupied[node]
+                for nb in neighbors(node):
+                    if nb in (source, target):
+                        continue
+                    if occupied.get(nb) == color:
+                        count += 1
+            return count
+
+        before = local_homogeneous()
+        occupied[source], occupied[target] = occupied[target], occupied[source]
+        after = local_homogeneous()
+        occupied[source], occupied[target] = occupied[target], occupied[source]
+        return after - before

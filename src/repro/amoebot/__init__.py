@@ -1,0 +1,41 @@
+"""The geometric amoebot model: distributed, asynchronous execution substrate.
+
+This subpackage implements the model of Section 2.1 — anonymous particles
+with constant-size memory occupying nodes of the triangular lattice,
+moving by expansions and contractions, activated asynchronously by
+individual Poisson clocks — together with Algorithm A of Section 3.2, the
+fully distributed local translation of the compression Markov chain, and
+the fault-injection machinery discussed in Section 3.3.
+"""
+
+from repro.amoebot.particle import Particle, ParticleState
+from repro.amoebot.scheduler import Activation, PoissonScheduler
+from repro.amoebot.local_algorithm import (
+    Action,
+    CompressionAlgorithm,
+    ContractBack,
+    ContractForward,
+    Expand,
+    Idle,
+    NeighborhoodView,
+)
+from repro.amoebot.system import AmoebotSystem
+from repro.amoebot.faults import ByzantineFlagLiar, CrashFaultInjector, FaultPlan
+
+__all__ = [
+    "Particle",
+    "ParticleState",
+    "Activation",
+    "PoissonScheduler",
+    "Action",
+    "CompressionAlgorithm",
+    "ContractBack",
+    "ContractForward",
+    "Expand",
+    "Idle",
+    "NeighborhoodView",
+    "AmoebotSystem",
+    "ByzantineFlagLiar",
+    "CrashFaultInjector",
+    "FaultPlan",
+]

@@ -1,0 +1,133 @@
+"""Fault injection for the amoebot system (Section 3.3).
+
+The paper highlights that the compression algorithm is the first for
+self-organizing particle systems to meaningfully tolerate faults:
+
+* **Crash faults** — a crashed particle stops moving forever and simply
+  acts as a fixed point around which the healthy particles keep
+  compressing.
+* **Byzantine faults** — because the algorithm is nearly oblivious and the
+  only communication is reading a neighbor's flag bit, a malicious
+  particle cannot corrupt the behaviour of healthy particles; the worst it
+  can do is refuse to cooperate (again acting as a fixed point).
+
+This module packages those two behaviours as injectable fault plans so
+experiments can crash a random subset of particles mid-run and measure how
+well the remaining system compresses (experiment E13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.amoebot.system import AmoebotSystem
+from repro.errors import AlgorithmError
+from repro.rng import RandomState, make_rng
+
+
+@dataclass
+class CrashFaultInjector:
+    """Crashes a chosen fraction of particles at a chosen activation count.
+
+    Attributes
+    ----------
+    fraction:
+        Fraction of particles to crash, in ``[0, 1)``.
+    after_activations:
+        The injection happens once the system has delivered at least this
+        many activations.
+    seed:
+        Seed for choosing which particles crash.
+    """
+
+    fraction: float
+    after_activations: int = 0
+    seed: RandomState = None
+    crashed_ids: List[int] = field(default_factory=list)
+    _done: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction < 1:
+            raise AlgorithmError(f"fraction must lie in [0, 1), got {self.fraction}")
+        if self.after_activations < 0:
+            raise AlgorithmError("after_activations must be non-negative")
+
+    def maybe_inject(self, system: AmoebotSystem) -> bool:
+        """Crash the chosen particles if the trigger point has been reached."""
+        if self._done or system.stats.activations < self.after_activations:
+            return False
+        rng = make_rng(self.seed)
+        count = int(round(self.fraction * system.n))
+        candidates = sorted(system.particles)
+        chosen = sorted(rng.choice(candidates, size=count, replace=False).tolist()) if count else []
+        for particle_id in chosen:
+            system.crash(int(particle_id))
+        self.crashed_ids = [int(p) for p in chosen]
+        self._done = True
+        return True
+
+
+@dataclass
+class ByzantineFlagLiar:
+    """Marks a fraction of particles as Byzantine (they stall and poison their flag).
+
+    The default Byzantine behaviour implemented by
+    :meth:`repro.amoebot.system.AmoebotSystem._byzantine_action` never
+    moves and always reports ``flag = False``; this is the adversary the
+    paper speculates about (particles refusing to cooperate).
+    """
+
+    fraction: float
+    seed: RandomState = None
+    byzantine_ids: List[int] = field(default_factory=list)
+    _done: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fraction < 1:
+            raise AlgorithmError(f"fraction must lie in [0, 1), got {self.fraction}")
+
+    def maybe_inject(self, system: AmoebotSystem) -> bool:
+        """Mark the chosen particles as Byzantine (idempotent)."""
+        if self._done:
+            return False
+        rng = make_rng(self.seed)
+        count = int(round(self.fraction * system.n))
+        candidates = sorted(system.particles)
+        chosen = sorted(rng.choice(candidates, size=count, replace=False).tolist()) if count else []
+        for particle_id in chosen:
+            system.mark_byzantine(int(particle_id))
+        self.byzantine_ids = [int(p) for p in chosen]
+        self._done = True
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of fault injections applied while a system runs.
+
+    Example
+    -------
+    >>> from repro.lattice.shapes import line
+    >>> system = AmoebotSystem(line(20), lam=4.0, seed=1)
+    >>> plan = FaultPlan(injectors=[CrashFaultInjector(fraction=0.1, seed=2)])
+    >>> plan.run(system, activations=2000)
+    """
+
+    injectors: List[object] = field(default_factory=list)
+
+    def run(self, system: AmoebotSystem, activations: int, check_every: int = 100) -> None:
+        """Run the system, applying any pending injections every ``check_every`` activations."""
+        if activations < 0:
+            raise AlgorithmError("activations must be non-negative")
+        if check_every <= 0:
+            raise AlgorithmError("check_every must be positive")
+        done = 0
+        while done < activations:
+            block = min(check_every, activations - done)
+            system.run(block)
+            done += block
+            for injector in self.injectors:
+                injector.maybe_inject(system)

@@ -1,0 +1,105 @@
+"""Particle state under the geometric amoebot model.
+
+A particle occupies either one node (contracted) or two adjacent nodes
+(expanded).  An expanded particle's *head* is the node it last expanded
+into and its *tail* is the other node; a contracted particle's head and
+tail coincide (Section 2.1).  Particles are anonymous in the model — the
+integer identifier carried here exists only for simulator bookkeeping and
+is never consulted by the algorithm.
+
+The only persistent inter-activation memory Algorithm A needs is the
+single ``flag`` bit (Section 3.3 calls the algorithm "nearly oblivious"
+for this reason), which is stored here alongside the kinematic state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.errors import SchedulerError
+from repro.lattice.triangular import Node, are_adjacent
+
+
+class ParticleState(str, Enum):
+    """Whether the particle currently occupies one node or two."""
+
+    CONTRACTED = "contracted"
+    EXPANDED = "expanded"
+
+
+@dataclass
+class Particle:
+    """Mutable simulator record for one amoebot particle.
+
+    Attributes
+    ----------
+    identifier:
+        Simulator bookkeeping id (not visible to the algorithm).
+    tail:
+        The node considered part of the configuration (Section 2.2 defines
+        configurations in terms of tails only).
+    head:
+        The node last expanded into, or ``None`` when contracted.
+    flag:
+        The single bit of persistent memory used by Algorithm A to ensure
+        that at most one particle per neighborhood completes a move.
+    crashed:
+        Whether the particle has suffered a crash fault (it then ignores
+        all of its activations).
+    byzantine:
+        Whether the particle is Byzantine (its behaviour is supplied by a
+        fault model instead of Algorithm A).
+    """
+
+    identifier: int
+    tail: Node
+    head: Optional[Node] = None
+    flag: bool = False
+    crashed: bool = False
+    byzantine: bool = False
+
+    @property
+    def state(self) -> ParticleState:
+        """Whether the particle is contracted or expanded."""
+        return ParticleState.CONTRACTED if self.head is None else ParticleState.EXPANDED
+
+    @property
+    def is_contracted(self) -> bool:
+        """True when the particle occupies a single node."""
+        return self.head is None
+
+    @property
+    def is_expanded(self) -> bool:
+        """True when the particle occupies two adjacent nodes."""
+        return self.head is not None
+
+    def occupied_nodes(self) -> Tuple[Node, ...]:
+        """The nodes currently occupied by this particle (one or two)."""
+        if self.head is None:
+            return (self.tail,)
+        return (self.tail, self.head)
+
+    def expand(self, target: Node) -> None:
+        """Expand into the adjacent node ``target`` (which becomes the head)."""
+        if self.is_expanded:
+            raise SchedulerError(f"particle {self.identifier} is already expanded")
+        if not are_adjacent(self.tail, target):
+            raise SchedulerError(
+                f"particle {self.identifier} cannot expand from {self.tail!r} to non-adjacent {target!r}"
+            )
+        self.head = target
+
+    def contract_forward(self) -> None:
+        """Contract into the head, completing the move."""
+        if self.head is None:
+            raise SchedulerError(f"particle {self.identifier} is not expanded")
+        self.tail = self.head
+        self.head = None
+
+    def contract_back(self) -> None:
+        """Contract back into the tail, abandoning the move."""
+        if self.head is None:
+            raise SchedulerError(f"particle {self.identifier} is not expanded")
+        self.head = None

@@ -1,0 +1,126 @@
+"""The paper's threshold formulas and Peierls tail bounds.
+
+These are the closed-form relationships proved in Sections 4 and 5:
+
+* Theorem 4.5: for a target compression factor ``alpha > 1``, any
+  ``lambda > lambda*(alpha) = (2 + sqrt(2))^(alpha / (alpha - 1))``
+  achieves alpha-compression w.h.p.
+* Corollary 4.6: conversely, for a given ``lambda > 2 + sqrt(2)``,
+  alpha-compression holds for any
+  ``alpha > log_{2+sqrt(2)}(lambda) / (log_{2+sqrt(2)}(lambda) - 1)``.
+* Corollary 5.3: for ``lambda < sqrt(2)``, beta-expansion holds for any
+  ``beta < (log sqrt(2) - log lambda) / (log(2+sqrt(2)) - log lambda)``.
+* Theorem 5.7 / Corollary 5.8: for ``1 <= lambda < 2.17``, beta-expansion
+  holds for any ``beta < (log x - log lambda)/(log(2+sqrt(2)) - log lambda)``
+  with ``x = (2 N50)^(1/100)``.
+* The Peierls tail bound itself: at stationarity the probability of
+  perimeter at least ``alpha * pmin`` is at most
+  ``(2n - 2) * (nu / lambda^((alpha-1)/alpha))^(alpha sqrt(n))``.
+
+The benchmark ``bench_bounds_tables.py`` prints the resulting
+``alpha(lambda)`` and ``beta(lambda)`` tables (experiments E7 and E8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.constants import (
+    COMPRESSION_THRESHOLD,
+    EXPANSION_THRESHOLD,
+    EXPANSION_THRESHOLD_WEAK,
+)
+from repro.errors import AnalysisError
+from repro.lattice.geometry import min_perimeter
+
+
+def compression_lambda_threshold(alpha: float) -> float:
+    """Theorem 4.5's ``lambda*(alpha) = (2 + sqrt(2))^(alpha / (alpha - 1))``."""
+    if alpha <= 1:
+        raise AnalysisError(f"alpha must exceed 1, got {alpha}")
+    return COMPRESSION_THRESHOLD ** (alpha / (alpha - 1.0))
+
+
+def alpha_for_lambda(lam: float) -> float:
+    """Corollary 4.6: the compression factor guaranteed for a bias ``lam > 2 + sqrt(2)``.
+
+    Returns the infimum of achievable ``alpha``; any strictly larger
+    constant is attained with all but exponentially small probability.
+    """
+    if lam <= COMPRESSION_THRESHOLD:
+        raise AnalysisError(
+            f"lambda must exceed 2 + sqrt(2) = {COMPRESSION_THRESHOLD:.4f}, got {lam}"
+        )
+    log_ratio = math.log(lam) / math.log(COMPRESSION_THRESHOLD)
+    return log_ratio / (log_ratio - 1.0)
+
+
+def beta_for_lambda(lam: float) -> float:
+    """Corollaries 5.3 and 5.8: the expansion fraction guaranteed for a bias ``lam < 2.17``.
+
+    Returns the supremum of achievable ``beta`` (any strictly smaller
+    positive constant is attained w.h.p.); raises when ``lam`` is outside
+    the proven expansion regime.
+    """
+    if lam <= 0:
+        raise AnalysisError(f"lambda must be positive, got {lam}")
+    if lam < 1.0:
+        # Corollary 5.3 applies for every lambda < sqrt(2); Lemma 5.6's
+        # sharper constant requires lambda >= 1.
+        return (math.log(EXPANSION_THRESHOLD_WEAK) - math.log(lam)) / (
+            math.log(COMPRESSION_THRESHOLD) - math.log(lam)
+        )
+    if lam < EXPANSION_THRESHOLD:
+        # Theorem 5.7 (the sharper bound via N50) for 1 <= lambda < 2.17.
+        return (math.log(EXPANSION_THRESHOLD) - math.log(lam)) / (
+            math.log(COMPRESSION_THRESHOLD) - math.log(lam)
+        )
+    raise AnalysisError(
+        f"lambda={lam} is not in the proven expansion regime (lambda < {EXPANSION_THRESHOLD:.3f})"
+    )
+
+
+def expansion_beta_bound_weak(lam: float) -> float:
+    """Corollary 5.3's bound using only Lemma 5.1 (valid for every ``lambda < sqrt(2)``)."""
+    if not 0 < lam < EXPANSION_THRESHOLD_WEAK:
+        raise AnalysisError(f"lambda must lie in (0, sqrt(2)), got {lam}")
+    return (math.log(EXPANSION_THRESHOLD_WEAK) - math.log(lam)) / (
+        math.log(COMPRESSION_THRESHOLD) - math.log(lam)
+    )
+
+
+def peierls_tail_bound(n: int, lam: float, alpha: float, nu: Optional[float] = None) -> float:
+    """The explicit tail bound from the proof of Theorem 4.5.
+
+    Bounds ``P(p(sigma) >= alpha * pmin)`` at stationarity by
+    ``(2n - 2) * (nu / lambda^((alpha - 1)/alpha))^(alpha * sqrt(n))``,
+    for any ``nu`` strictly between ``2 + sqrt(2)`` and
+    ``lambda^((alpha-1)/alpha)``.  When ``nu`` is omitted the geometric
+    mean of those two endpoints is used.  Values above 1 are possible for
+    small ``n`` (the bound is only exponentially small asymptotically);
+    the returned value is not clipped so callers can study the crossover.
+    """
+    if n < 2:
+        raise AnalysisError("need n >= 2")
+    if alpha <= 1:
+        raise AnalysisError("alpha must exceed 1")
+    if lam <= compression_lambda_threshold(alpha):
+        raise AnalysisError(
+            f"lambda={lam} does not exceed lambda*(alpha)={compression_lambda_threshold(alpha):.4f}"
+        )
+    upper = lam ** ((alpha - 1.0) / alpha)
+    if nu is None:
+        nu = math.sqrt(COMPRESSION_THRESHOLD * upper)
+    if not COMPRESSION_THRESHOLD < nu < upper:
+        raise AnalysisError(
+            f"nu must lie strictly between {COMPRESSION_THRESHOLD:.4f} and {upper:.4f}, got {nu}"
+        )
+    ratio = nu / upper
+    return (2 * n - 2) * ratio ** (alpha * math.sqrt(n))
+
+
+def compression_probability_lower_bound(n: int, lam: float, alpha: float) -> float:
+    """``1 - peierls_tail_bound`` clipped to ``[0, 1]``: a guaranteed compression probability."""
+    bound = peierls_tail_bound(n, lam, alpha)
+    return max(0.0, 1.0 - bound)

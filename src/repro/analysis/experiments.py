@@ -1,0 +1,157 @@
+"""The experiment harness: one entry point per paper figure/table.
+
+Every experiment returns an :class:`ExperimentRecord` that carries the
+parameters actually used, the measured series/rows, and the paper's
+qualitative expectation, so that EXPERIMENTS.md can be regenerated
+directly from harness output.  The benchmarks under ``benchmarks/`` call
+these functions with reduced default workloads; passing ``full_scale=True``
+reproduces the paper's original parameters (100 particles, millions of
+iterations) at the cost of minutes-to-hours of runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.algorithms.expansion import ExpansionSimulation
+from repro.core.compression import CompressionSimulation
+from repro.errors import AnalysisError
+from repro.rng import RandomState
+
+
+@dataclass
+class ExperimentRecord:
+    """A self-describing record of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The identifier from DESIGN.md's per-experiment index (e.g. ``"E1"``).
+    description:
+        What the experiment reproduces.
+    parameters:
+        The parameters actually used for this run.
+    results:
+        Measured values (series, tables, summary statistics).
+    expectation:
+        The qualitative behaviour the paper reports, for side-by-side
+        comparison in EXPERIMENTS.md.
+    """
+
+    experiment_id: str
+    description: str
+    parameters: Dict[str, Any]
+    results: Dict[str, Any]
+    expectation: str
+
+
+def run_fig2_compression(
+    n: int = 100,
+    lam: float = 4.0,
+    iterations: int = 200_000,
+    snapshots: int = 5,
+    seed: RandomState = 0,
+) -> ExperimentRecord:
+    """Experiment E1 (Figure 2): compression of a line of particles at ``lambda = 4``.
+
+    The paper shows 100 particles compressing visibly within 1-5 million
+    iterations.  The default workload here is reduced; the shape of the
+    result (monotone-ish perimeter decrease, final perimeter well below the
+    starting ``2n - 2``) is what the record captures.
+    """
+    if snapshots < 1:
+        raise AnalysisError("snapshots must be at least 1")
+    simulation = CompressionSimulation.from_line(n, lam=lam, seed=seed)
+    block = iterations // snapshots
+    perimeters = [simulation.chain.perimeter()]
+    alphas = [simulation.compression_ratio()]
+    for _ in range(snapshots):
+        simulation.run(block, record_every=max(1, block // 10))
+        perimeters.append(simulation.chain.perimeter())
+        alphas.append(simulation.compression_ratio())
+    return ExperimentRecord(
+        experiment_id="E1",
+        description="Figure 2: perimeter of an n-particle line under lambda=4",
+        parameters={"n": n, "lambda": lam, "iterations": iterations, "snapshots": snapshots},
+        results={
+            "perimeter_snapshots": perimeters,
+            "alpha_snapshots": alphas,
+            "initial_perimeter": perimeters[0],
+            "final_perimeter": perimeters[-1],
+            "min_possible_perimeter": simulation.min_possible_perimeter,
+        },
+        expectation=(
+            "Perimeter decreases substantially from the line's 2n-2 toward a few times "
+            "pmin; Figure 2 shows visually compressed blobs after a few million iterations."
+        ),
+    )
+
+
+def run_fig10_expansion(
+    n: int = 100,
+    lam: float = 2.0,
+    iterations: int = 200_000,
+    seed: RandomState = 0,
+) -> ExperimentRecord:
+    """Experiment E2 (Figure 10): the same system at ``lambda = 2`` does not compress."""
+    simulation = ExpansionSimulation.from_line(n, lam=lam, seed=seed)
+    simulation.run(iterations, record_every=max(1, iterations // 20))
+    final = simulation.trace.final()
+    return ExperimentRecord(
+        experiment_id="E2",
+        description="Figure 10: perimeter of an n-particle line under lambda=2",
+        parameters={"n": n, "lambda": lam, "iterations": iterations},
+        results={
+            "initial_perimeter": simulation.trace.points[0].perimeter,
+            "final_perimeter": final.perimeter,
+            "final_alpha": final.alpha,
+            "final_beta": final.beta,
+            "max_possible_perimeter": simulation.max_possible_perimeter,
+        },
+        expectation=(
+            "Even after 10-20 million iterations the lambda=2 system remains spread out: "
+            "perimeter stays a constant fraction of pmax and far above alpha*pmin."
+        ),
+    )
+
+
+def run_lambda_sweep(
+    n: int = 50,
+    lambdas: Sequence[float] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0),
+    iterations: int = 150_000,
+    seed: RandomState = 0,
+) -> ExperimentRecord:
+    """Experiment E14: final perimeter ratio as a function of the bias ``lambda``.
+
+    Straddles the proven expansion regime (``lambda < 2.17``) and the proven
+    compression regime (``lambda > 2 + sqrt(2) ~ 3.41``); the paper
+    conjectures a phase transition somewhere in between.
+    """
+    from repro.rng import make_rng
+
+    rows: List[Dict[str, float]] = []
+    rng = make_rng(seed)
+    for lam in lambdas:
+        simulation = CompressionSimulation.from_line(n, lam=lam, seed=rng)
+        simulation.run(iterations, record_every=iterations)
+        final = simulation.trace.final()
+        rows.append(
+            {
+                "lambda": float(lam),
+                "final_perimeter": float(final.perimeter),
+                "alpha": float(final.alpha),
+                "beta": float(final.beta),
+            }
+        )
+    return ExperimentRecord(
+        experiment_id="E14",
+        description="Perimeter ratio vs lambda sweep across both proven regimes",
+        parameters={"n": n, "lambdas": list(lambdas), "iterations": iterations},
+        results={"rows": rows},
+        expectation=(
+            "Small lambda keeps the perimeter near pmax (beta close to a constant); large "
+            "lambda drives it toward pmin (alpha close to 1); the crossover lies between "
+            "2.17 and 3.41."
+        ),
+    )

@@ -1,0 +1,41 @@
+"""Compression and expansion metrics (Definition 2.2 and Section 5)."""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.geometry import max_perimeter, min_perimeter
+
+
+def achieved_alpha(configuration: ParticleConfiguration) -> float:
+    """The ratio ``p(sigma) / pmin(n)``: how compressed the configuration actually is.
+
+    A configuration is alpha-compressed exactly when this ratio is at most
+    ``alpha``; a value of 1.0 means perfectly compressed.
+    """
+    pmin = min_perimeter(configuration.n)
+    if pmin == 0:
+        return 1.0
+    return configuration.perimeter / pmin
+
+
+def achieved_beta(configuration: ParticleConfiguration) -> float:
+    """The ratio ``p(sigma) / pmax(n)``: how expanded the configuration actually is."""
+    pmax = max_perimeter(configuration.n)
+    if pmax == 0:
+        return 0.0
+    return configuration.perimeter / pmax
+
+
+def is_alpha_compressed(configuration: ParticleConfiguration, alpha: float) -> bool:
+    """Definition 2.2: ``p(sigma) <= alpha * pmin(n)`` for the given ``alpha > 1``."""
+    if alpha <= 1:
+        raise AnalysisError(f"alpha must exceed 1, got {alpha}")
+    return configuration.perimeter <= alpha * min_perimeter(configuration.n)
+
+
+def is_beta_expanded(configuration: ParticleConfiguration, beta: float) -> bool:
+    """Section 5: ``p(sigma) >= beta * pmax(n)`` for the given ``0 < beta < 1``."""
+    if not 0 < beta < 1:
+        raise AnalysisError(f"beta must lie in (0, 1), got {beta}")
+    return configuration.perimeter >= beta * max_perimeter(configuration.n)

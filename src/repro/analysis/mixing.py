@@ -1,0 +1,115 @@
+"""Mixing diagnostics: total variation distance, spectral gap, empirical sampling.
+
+Section 3.7 of the paper discusses why rigorous mixing-time bounds are out
+of reach; these tools provide the numerical counterparts used by the
+reproduction: exact spectral gaps and distances to stationarity for small
+systems (where the full transition matrix is available) and empirical
+state-visit distributions for simulation-level checks of Lemma 3.13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.stationary import StateSpace
+from repro.errors import AnalysisError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.rng import RandomState, make_rng
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``0.5 * sum_i |p_i - q_i|`` for two distributions on the same index set."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise AnalysisError("distributions must have the same shape")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def spectral_gap(matrix: np.ndarray) -> float:
+    """The spectral gap ``1 - |lambda_2|`` of a transition matrix.
+
+    Computed from the full (possibly non-symmetric) eigenvalue spectrum;
+    intended for the small exact matrices of :mod:`repro.core.stationary`.
+    A larger gap means faster mixing.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise AnalysisError("matrix must be square")
+    eigenvalues = np.linalg.eigvals(matrix)
+    magnitudes = np.sort(np.abs(eigenvalues))[::-1]
+    if len(magnitudes) == 1:
+        return 1.0
+    return float(1.0 - magnitudes[1])
+
+
+def tv_distance_to_stationarity(
+    matrix: np.ndarray,
+    stationary: np.ndarray,
+    start_index: int,
+    steps: int,
+) -> float:
+    """Total variation distance between ``delta_start M^steps`` and the stationary distribution."""
+    if steps < 0:
+        raise AnalysisError("steps must be non-negative")
+    distribution = np.zeros(matrix.shape[0])
+    distribution[start_index] = 1.0
+    step_matrix = np.linalg.matrix_power(matrix, steps) if steps else np.eye(matrix.shape[0])
+    return total_variation_distance(distribution @ step_matrix, stationary)
+
+
+def mixing_time_upper_estimate(
+    matrix: np.ndarray, stationary: np.ndarray, epsilon: float = 0.25, max_steps: int = 100_000
+) -> int:
+    """Smallest ``t`` with worst-start TV distance below ``epsilon`` (exact, small matrices only)."""
+    if not 0 < epsilon < 1:
+        raise AnalysisError("epsilon must lie in (0, 1)")
+    size = matrix.shape[0]
+    current = np.eye(size)
+    for step in range(1, max_steps + 1):
+        current = current @ matrix
+        distances = 0.5 * np.abs(current - stationary[None, :]).sum(axis=1)
+        if float(distances.max()) < epsilon:
+            return step
+    raise AnalysisError(f"mixing time exceeds {max_steps} steps")
+
+
+def empirical_distribution(
+    space: StateSpace,
+    lam: float,
+    iterations: int,
+    burn_in: int = 0,
+    sample_every: int = 1,
+    seed: RandomState = None,
+    start: Optional[ParticleConfiguration] = None,
+) -> np.ndarray:
+    """Empirical visit distribution of the simulated chain over an enumerated state space.
+
+    Runs :class:`CompressionMarkovChain` and, every ``sample_every``
+    iterations after ``burn_in``, records the canonical form of the current
+    configuration.  The result is comparable against
+    :func:`repro.core.stationary.exact_stationary_distribution` with
+    :func:`total_variation_distance` — the simulation-level confirmation of
+    Lemma 3.13.
+    """
+    if iterations <= burn_in:
+        raise AnalysisError("iterations must exceed burn_in")
+    rng = make_rng(seed)
+    if start is None:
+        start = space.states[int(np.argmax(space.hole_free))]
+    chain = CompressionMarkovChain(start, lam=lam, seed=rng)
+    counts = np.zeros(space.size, dtype=float)
+    chain.run(burn_in)
+    performed = burn_in
+    while performed < iterations:
+        chain.run(sample_every)
+        performed += sample_every
+        canonical = chain.configuration.canonical()
+        index = space.index.get(canonical)
+        if index is None:
+            raise AnalysisError("the chain left the enumerated state space; this is a bug")
+        counts[index] += 1
+    total = counts.sum()
+    return counts / total

@@ -1,0 +1,85 @@
+"""Time-series statistics for simulation output.
+
+Compression traces are autocorrelated Markov chain output; these helpers
+provide the standard corrections (autocorrelation functions, batch means,
+bootstrap confidence intervals) used when reporting measured perimeters and
+compression times in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.rng import RandomState, make_rng
+
+
+def autocorrelation(series: Sequence[float], max_lag: int) -> np.ndarray:
+    """Normalized autocorrelation function of ``series`` up to ``max_lag``.
+
+    ``result[0]`` is always 1; a slowly decaying tail indicates slow mixing
+    of the observable (e.g. the perimeter trace near the phase boundary).
+    """
+    data = np.asarray(series, dtype=float)
+    if data.size < 2:
+        raise AnalysisError("need at least two samples")
+    if max_lag < 1 or max_lag >= data.size:
+        raise AnalysisError("max_lag must be in [1, len(series) - 1]")
+    centered = data - data.mean()
+    variance = float(np.dot(centered, centered))
+    if variance == 0:
+        return np.ones(max_lag + 1)
+    result = np.empty(max_lag + 1)
+    for lag in range(max_lag + 1):
+        result[lag] = float(np.dot(centered[: data.size - lag], centered[lag:])) / variance
+    return result
+
+
+def integrated_autocorrelation_time(series: Sequence[float], max_lag: int = 100) -> float:
+    """Integrated autocorrelation time ``1 + 2 * sum_k rho(k)`` with positive-sequence truncation."""
+    data = np.asarray(series, dtype=float)
+    max_lag = min(max_lag, data.size - 1)
+    rho = autocorrelation(data, max_lag)
+    tau = 1.0
+    for lag in range(1, max_lag + 1):
+        if rho[lag] <= 0:
+            break
+        tau += 2.0 * float(rho[lag])
+    return tau
+
+
+def batch_means(series: Sequence[float], batches: int = 10) -> Tuple[float, float]:
+    """Batch-means estimate ``(mean, standard_error)`` for correlated samples."""
+    data = np.asarray(series, dtype=float)
+    if batches < 2:
+        raise AnalysisError("need at least two batches")
+    if data.size < batches:
+        raise AnalysisError("need at least one sample per batch")
+    usable = (data.size // batches) * batches
+    matrix = data[:usable].reshape(batches, -1)
+    means = matrix.mean(axis=1)
+    return float(means.mean()), float(means.std(ddof=1) / np.sqrt(batches))
+
+
+def bootstrap_confidence_interval(
+    series: Sequence[float],
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: RandomState = None,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean of ``series``."""
+    data = np.asarray(series, dtype=float)
+    if data.size < 2:
+        raise AnalysisError("need at least two samples")
+    if not 0 < level < 1:
+        raise AnalysisError("level must lie in (0, 1)")
+    rng = make_rng(seed)
+    means = np.empty(resamples)
+    for i in range(resamples):
+        sample = rng.choice(data, size=data.size, replace=True)
+        means[i] = sample.mean()
+    lower = float(np.percentile(means, 100 * (1 - level) / 2))
+    upper = float(np.percentile(means, 100 * (1 + level) / 2))
+    return (lower, upper)

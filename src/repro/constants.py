@@ -1,0 +1,119 @@
+"""Paper constants for the compression Markov chain reproduction.
+
+All named constants that appear in Cannon, Daymude, Randall, Richa,
+"A Markov Chain Algorithm for Compression in Self-Organizing Particle
+Systems" are collected here so that analysis code, tests and benchmarks
+reference a single authoritative definition.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: The compression threshold of Theorem 4.5 / Corollary 4.6.  For any bias
+#: ``lambda > 2 + sqrt(2)`` the chain achieves alpha-compression for some
+#: constant ``alpha > 1`` with all but exponentially small probability.
+COMPRESSION_THRESHOLD: float = 2.0 + math.sqrt(2.0)
+
+#: The connective constant of the hexagonal (honeycomb) lattice,
+#: ``mu_hex = sqrt(2 + sqrt(2))`` (Duminil-Copin and Smirnov; Theorem 4.2).
+HEXAGONAL_CONNECTIVE_CONSTANT: float = math.sqrt(2.0 + math.sqrt(2.0))
+
+#: Number of connected hole-free configurations (fixed benzenoids /
+#: polyhexes) with exactly 50 particles, from Jensen 2009 (Lemma 5.5).
+N50: int = 2_430_068_453_031_180_290_203_185_942_420_933
+
+#: The expansion threshold of Theorem 5.7 / Corollary 5.8,
+#: ``x = (2 * N50) ** (1/100) ~ 2.17``.  Below this bias, beta-expansion
+#: occurs at stationarity with all but exponentially small probability.
+EXPANSION_THRESHOLD: float = float((2 * N50) ** (1.0 / 100.0))
+
+#: The weaker expansion threshold of Corollary 5.3 obtained from the
+#: staircase-path lower bound of Lemma 5.1 (valid for every lambda > 0).
+EXPANSION_THRESHOLD_WEAK: float = math.sqrt(2.0)
+
+#: Constants of the Lemma 5.4 lower bound ``Z >= 0.12 * (1.67 / lambda)^pmax``.
+LEMMA_5_4_BASE: float = 1.67
+LEMMA_5_4_PREFACTOR: float = 0.12
+
+#: Constants of the Lemma 5.6 lower bound ``Z >= 0.13 * (2.17 / lambda)^pmax``.
+LEMMA_5_6_BASE: float = EXPANSION_THRESHOLD
+LEMMA_5_6_PREFACTOR: float = 0.13
+
+#: Number of connected hole-free configurations with three particles
+#: (Figure 11 of the paper).
+THREE_PARTICLE_CONFIGURATIONS: int = 11
+
+#: Counts of fixed polyhexes — connected configurations of n particles up
+#: to translation only (rotations and reflections counted as distinct) —
+#: for n = 1, 2, 3, ... (OEIS A001207).  From n = 6 onward this series
+#: includes configurations that enclose holes (the first being the
+#: six-particle ring); the number of *hole-free* configurations is
+#: slightly smaller (813 of the 814 six-particle configurations are
+#: hole-free).  Figure 11 of the paper shows the 11 three-particle
+#: configurations; Lemma 5.5 quotes the fifty-particle count.
+FIXED_POLYHEX_COUNTS: tuple[int, ...] = (
+    1,
+    3,
+    11,
+    44,
+    186,
+    814,
+    3652,
+    16689,
+    77359,
+    362671,
+    1716033,
+    8182213,
+)
+
+#: Backwards-compatible alias (the paper calls these counts "benzenoid
+#: hydrocarbons"); see :data:`FIXED_POLYHEX_COUNTS`.
+FIXED_BENZENOID_COUNTS = FIXED_POLYHEX_COUNTS
+
+#: Number of connected *hole-free* configurations of six particles: all of
+#: the 814 six-particle polyhexes except the ring that encloses a hole.
+HOLE_FREE_SIX_PARTICLE_CONFIGURATIONS: int = 813
+
+#: Maximum number of neighbors a particle can have on the triangular lattice.
+MAX_NEIGHBORS: int = 6
+
+#: A particle with five neighbors is never allowed to move (Condition (1)
+#: of Algorithm M); moving it would create a hole at its old location.
+FORBIDDEN_NEIGHBOR_COUNT: int = 5
+
+
+def pmax(n: int) -> int:
+    """Maximum perimeter of a connected hole-free configuration of ``n`` particles.
+
+    A spanning tree of the configuration graph with no induced triangles
+    attains ``pmax = 2n - 2`` (Section 2.3 of the paper).
+    """
+    if n < 1:
+        raise ValueError(f"need at least one particle, got n={n}")
+    if n == 1:
+        return 0
+    return 2 * n - 2
+
+
+def pmin_lower_bound(n: int) -> float:
+    """Lower bound ``sqrt(n)`` on the perimeter of any connected configuration.
+
+    Lemma 2.1: every connected configuration of ``n >= 2`` particles has
+    perimeter at least ``sqrt(n)``.  This bound is not tight but is the one
+    used throughout the paper's proofs.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one particle, got n={n}")
+    if n == 1:
+        return 0.0
+    return math.sqrt(n)
+
+
+def pmin_upper_bound(n: int) -> float:
+    """Upper bound ``4 sqrt(n)`` on the minimum perimeter (Section 2.3)."""
+    if n < 1:
+        raise ValueError(f"need at least one particle, got n={n}")
+    if n == 1:
+        return 0.0
+    return 4.0 * math.sqrt(n)

@@ -1,0 +1,75 @@
+"""The paper's primary contribution: the compression Markov chain.
+
+This subpackage implements Algorithm M (the centralized Markov chain for
+compression, Section 3.1), the move-legality Properties 1 and 2, the
+Metropolis filter machinery, the high-level simulation API, and exact
+stationary-distribution analysis for small systems.
+"""
+
+from repro.core.properties import (
+    common_occupied_neighbors,
+    joint_neighborhood,
+    satisfies_either_property,
+    satisfies_property_1,
+    satisfies_property_2,
+)
+from repro.core.moves import (
+    Move,
+    classify_move,
+    enumerate_valid_moves,
+    is_valid_move,
+    move_edge_delta,
+    neighbor_count,
+)
+from repro.core.energy import (
+    CompressionEnergy,
+    edge_hamiltonian,
+    log_weight,
+    perimeter_weight,
+    weight,
+)
+from repro.core.metropolis import MetropolisFilter, acceptance_probability
+from repro.core.markov_chain import CompressionMarkovChain, StepResult
+from repro.core.compression import CompressionSimulation, CompressionTrace, TracePoint
+from repro.core.stationary import (
+    StateSpace,
+    build_state_space,
+    exact_stationary_distribution,
+    transition_matrix,
+    verify_aperiodicity,
+    verify_detailed_balance,
+    verify_irreducibility,
+)
+
+__all__ = [
+    "common_occupied_neighbors",
+    "joint_neighborhood",
+    "satisfies_either_property",
+    "satisfies_property_1",
+    "satisfies_property_2",
+    "Move",
+    "classify_move",
+    "enumerate_valid_moves",
+    "is_valid_move",
+    "move_edge_delta",
+    "neighbor_count",
+    "CompressionEnergy",
+    "edge_hamiltonian",
+    "log_weight",
+    "perimeter_weight",
+    "weight",
+    "MetropolisFilter",
+    "acceptance_probability",
+    "CompressionMarkovChain",
+    "StepResult",
+    "CompressionSimulation",
+    "CompressionTrace",
+    "TracePoint",
+    "StateSpace",
+    "build_state_space",
+    "exact_stationary_distribution",
+    "transition_matrix",
+    "verify_aperiodicity",
+    "verify_detailed_balance",
+    "verify_irreducibility",
+]

@@ -1,0 +1,235 @@
+"""High-level compression simulation API.
+
+:class:`CompressionSimulation` wraps :class:`~repro.core.markov_chain.CompressionMarkovChain`
+with the bookkeeping needed by the paper's experiments: periodic recording
+of perimeter/edge metrics (the data behind Figures 2 and 10), detection of
+alpha-compression and beta-expansion, and convenience constructors for the
+standard starting configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.geometry import max_perimeter, min_perimeter
+from repro.lattice.shapes import line as line_shape
+from repro.core.markov_chain import CompressionMarkovChain
+from repro.rng import RandomState
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """A single recorded sample of the simulation state.
+
+    Attributes
+    ----------
+    iteration:
+        Number of chain iterations performed when the sample was taken.
+    perimeter:
+        Exact perimeter ``p(sigma)`` at that time.
+    edges:
+        Induced edge count ``e(sigma)`` at that time.
+    holes:
+        Number of holes in the configuration at that time.
+    alpha:
+        The compression ratio ``p(sigma) / pmin(n)``.
+    beta:
+        The expansion ratio ``p(sigma) / pmax(n)``.
+    """
+
+    iteration: int
+    perimeter: int
+    edges: int
+    holes: int
+    alpha: float
+    beta: float
+
+
+@dataclass
+class CompressionTrace:
+    """The time series of recorded samples from one simulation run."""
+
+    n: int
+    lam: float
+    points: List[TracePoint] = field(default_factory=list)
+
+    def iterations(self) -> List[int]:
+        """The iteration counts of the recorded samples."""
+        return [point.iteration for point in self.points]
+
+    def perimeters(self) -> List[int]:
+        """The recorded perimeters."""
+        return [point.perimeter for point in self.points]
+
+    def alphas(self) -> List[float]:
+        """The recorded compression ratios ``p / pmin``."""
+        return [point.alpha for point in self.points]
+
+    def final(self) -> TracePoint:
+        """The last recorded sample."""
+        if not self.points:
+            raise ConfigurationError("the trace is empty; run the simulation first")
+        return self.points[-1]
+
+
+class CompressionSimulation:
+    """Run Algorithm M on a particle system and record compression metrics.
+
+    Parameters
+    ----------
+    initial:
+        The starting configuration (connected).  Use
+        :meth:`from_line` for the paper's standard line start.
+    lam:
+        Bias parameter ``lambda``.
+    seed:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        initial: ParticleConfiguration,
+        lam: float,
+        seed: RandomState = None,
+    ) -> None:
+        self.chain = CompressionMarkovChain(initial, lam=lam, seed=seed)
+        self.lam = float(lam)
+        self.n = initial.n
+        self._pmin = min_perimeter(self.n)
+        self._pmax = max_perimeter(self.n)
+        self.trace = CompressionTrace(n=self.n, lam=self.lam)
+        self._record()
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_line(
+        cls, n: int, lam: float, seed: RandomState = None
+    ) -> "CompressionSimulation":
+        """The paper's standard experiment: ``n`` particles starting in a line."""
+        return cls(line_shape(n), lam=lam, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def configuration(self) -> ParticleConfiguration:
+        """The current configuration."""
+        return self.chain.configuration
+
+    @property
+    def min_possible_perimeter(self) -> int:
+        """``pmin(n)`` for this system size."""
+        return self._pmin
+
+    @property
+    def max_possible_perimeter(self) -> int:
+        """``pmax(n) = 2n - 2`` for this system size."""
+        return self._pmax
+
+    def compression_ratio(self) -> float:
+        """The current value of ``p(sigma) / pmin(n)`` (the "alpha" actually achieved)."""
+        if self._pmin == 0:
+            return 1.0
+        return self.chain.perimeter() / self._pmin
+
+    def expansion_ratio(self) -> float:
+        """The current value of ``p(sigma) / pmax(n)`` (the "beta" actually achieved)."""
+        if self._pmax == 0:
+            return 0.0
+        return self.chain.perimeter() / self._pmax
+
+    def is_alpha_compressed(self, alpha: float) -> bool:
+        """Whether the current configuration is alpha-compressed (Definition 2.2)."""
+        if alpha <= 1:
+            raise ConfigurationError(f"alpha must exceed 1, got {alpha}")
+        return self.chain.perimeter() <= alpha * self._pmin
+
+    def is_beta_expanded(self, beta: float) -> bool:
+        """Whether the current configuration is beta-expanded (Section 5)."""
+        if not 0 < beta < 1:
+            raise ConfigurationError(f"beta must lie in (0, 1), got {beta}")
+        return self.chain.perimeter() >= beta * self._pmax
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def run(self, iterations: int, record_every: Optional[int] = None) -> CompressionTrace:
+        """Run the chain, recording a trace point every ``record_every`` iterations.
+
+        Parameters
+        ----------
+        iterations:
+            Total number of chain iterations to perform in this call.
+        record_every:
+            Sampling interval; defaults to ``max(1, iterations // 100)``.
+
+        Returns
+        -------
+        CompressionTrace
+            The cumulative trace (shared with ``self.trace``).
+        """
+        if iterations < 0:
+            raise ConfigurationError(f"iterations must be non-negative, got {iterations}")
+        if record_every is None:
+            record_every = max(1, iterations // 100)
+        if record_every <= 0:
+            raise ConfigurationError(f"record_every must be positive, got {record_every}")
+        remaining = iterations
+        while remaining > 0:
+            block = min(record_every, remaining)
+            self.chain.run(block)
+            remaining -= block
+            self._record()
+        return self.trace
+
+    def run_until_compressed(
+        self,
+        alpha: float,
+        max_iterations: int,
+        check_every: int = 1000,
+    ) -> Optional[int]:
+        """Run until the configuration is alpha-compressed or a budget is exhausted.
+
+        Returns the number of iterations at which alpha-compression was
+        first observed (at the sampling granularity of ``check_every``), or
+        ``None`` if the budget ran out first.  Used by the convergence-time
+        scaling experiment (Section 3.7).
+        """
+        if alpha <= 1:
+            raise ConfigurationError(f"alpha must exceed 1, got {alpha}")
+        if max_iterations < 0:
+            raise ConfigurationError("max_iterations must be non-negative")
+        if check_every <= 0:
+            raise ConfigurationError("check_every must be positive")
+        performed = 0
+        if self.is_alpha_compressed(alpha):
+            return self.chain.iterations
+        while performed < max_iterations:
+            block = min(check_every, max_iterations - performed)
+            self.chain.run(block)
+            performed += block
+            self._record()
+            if self.is_alpha_compressed(alpha):
+                return self.chain.iterations
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _record(self) -> None:
+        configuration = self.chain.configuration
+        perimeter = configuration.perimeter
+        point = TracePoint(
+            iteration=self.chain.iterations,
+            perimeter=perimeter,
+            edges=configuration.edge_count,
+            holes=len(configuration.holes),
+            alpha=perimeter / self._pmin if self._pmin else 1.0,
+            beta=perimeter / self._pmax if self._pmax else 0.0,
+        )
+        self.trace.points.append(point)

@@ -1,0 +1,91 @@
+"""Energy functions and configuration weights.
+
+The stochastic approach assigns each configuration ``sigma`` an energy via
+a Hamiltonian ``H(sigma)`` and a weight ``w(sigma) = lambda^(-H(sigma))``;
+the chain's stationary distribution is proportional to the weight
+(Section 1.1 and Lemma 3.13).  For compression the Hamiltonian is
+``H(sigma) = -e(sigma)`` (more induced edges means lower energy), so
+``w(sigma) = lambda^{e(sigma)}``, and by Lemma 2.3 this is proportional to
+``lambda^{-p(sigma)}`` on hole-free configurations (Corollary 3.14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.lattice.configuration import ParticleConfiguration
+
+
+def edge_hamiltonian(configuration: ParticleConfiguration) -> int:
+    """The compression Hamiltonian ``H(sigma) = -e(sigma)``."""
+    return -configuration.edge_count
+
+
+def weight(configuration: ParticleConfiguration, lam: float) -> float:
+    """The configuration weight ``w(sigma) = lambda^{e(sigma)}`` (Lemma 3.13).
+
+    For large systems this can overflow a float; prefer :func:`log_weight`
+    in analysis code.
+    """
+    _validate_lambda(lam)
+    return lam ** configuration.edge_count
+
+
+def log_weight(configuration: ParticleConfiguration, lam: float) -> float:
+    """The natural logarithm of the configuration weight, ``e(sigma) * ln(lambda)``."""
+    _validate_lambda(lam)
+    return configuration.edge_count * math.log(lam)
+
+
+def perimeter_weight(configuration: ParticleConfiguration, lam: float) -> float:
+    """The perimeter form of the weight, ``lambda^{-p(sigma)}`` (Corollary 3.14).
+
+    Proportional to :func:`weight` on connected hole-free configurations of
+    a fixed number of particles (the proportionality constant is
+    ``lambda^{3n-3}``).
+    """
+    _validate_lambda(lam)
+    return lam ** (-configuration.perimeter)
+
+
+@dataclass(frozen=True)
+class CompressionEnergy:
+    """The energy landscape of the compression chain for a fixed bias ``lam``.
+
+    Bundles the Hamiltonian and weight functions so that extension
+    algorithms (separation, bridging) can present the same interface with
+    different Hamiltonians.
+    """
+
+    lam: float
+
+    def __post_init__(self) -> None:
+        _validate_lambda(self.lam)
+
+    def hamiltonian(self, configuration: ParticleConfiguration) -> float:
+        """``H(sigma) = -e(sigma)``."""
+        return float(edge_hamiltonian(configuration))
+
+    def weight(self, configuration: ParticleConfiguration) -> float:
+        """``w(sigma) = lam^{e(sigma)}``."""
+        return weight(configuration, self.lam)
+
+    def log_weight(self, configuration: ParticleConfiguration) -> float:
+        """``ln w(sigma)``."""
+        return log_weight(configuration, self.lam)
+
+    def weight_ratio(self, edge_delta: int) -> float:
+        """``w(tau) / w(sigma)`` for a move changing the edge count by ``edge_delta``.
+
+        This is the locally computable quantity ``lambda^(e' - e)`` used by
+        the Metropolis filter: the global weight ratio collapses to a
+        function of the moving particle's neighbor counts only.
+        """
+        return self.lam ** edge_delta
+
+
+def _validate_lambda(lam: float) -> None:
+    if not lam > 0:
+        raise AnalysisError(f"the bias parameter lambda must be positive, got {lam}")

@@ -1,0 +1,232 @@
+"""Algorithm M: the centralized Markov chain for compression (Section 3.1).
+
+The chain's state space is the set of connected configurations of ``n``
+contracted particles.  One iteration:
+
+1. pick a particle ``P`` uniformly at random; let ``l`` be its location;
+2. pick one of the six neighboring locations ``l'`` and a uniform
+   ``q in (0, 1)``;
+3. if ``l'`` is unoccupied, let ``e`` (resp. ``e'``) be the number of
+   neighbors ``P`` has at ``l`` (resp. would have at ``l'``), and move
+   ``P`` to ``l'`` iff ``e != 5``, the pair satisfies Property 1 or
+   Property 2, and ``q < lambda^(e' - e)``.
+
+The chain preserves connectivity (Lemma 3.1), never creates a hole in a
+hole-free configuration (Lemma 3.2), eventually reaches the hole-free
+space ``Omega*`` and is ergodic there (Section 3.5), and converges to
+``pi(sigma) ∝ lambda^{e(sigma)}`` (Lemma 3.13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
+from repro.errors import ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.triangular import DIRECTIONS, Node, add
+from repro.core.moves import Move
+from repro.core.properties import satisfies_either_property
+from repro.rng import RandomState, make_rng
+
+#: Reasons a proposed step may not result in a move.
+REJECTION_REASONS = (
+    "target_occupied",
+    "five_neighbors",
+    "property_failed",
+    "metropolis_rejected",
+)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of a single iteration of the chain.
+
+    Attributes
+    ----------
+    moved:
+        Whether the particle actually moved.
+    move:
+        The proposed move (source and target locations); always present.
+    edge_delta:
+        ``e' - e`` for the proposal, or ``None`` when the target was occupied
+        (the quantity is never evaluated in that case).
+    reason:
+        ``"moved"`` if the move was performed, otherwise one of
+        :data:`REJECTION_REASONS`.
+    """
+
+    moved: bool
+    move: Move
+    edge_delta: Optional[int]
+    reason: str
+
+
+class CompressionMarkovChain:
+    """Algorithm M with bias parameter ``lam`` acting on a particle configuration.
+
+    Parameters
+    ----------
+    initial:
+        The starting configuration ``sigma_0``; must be connected.
+    lam:
+        The bias parameter ``lambda > 0``.  Values above ``2 + sqrt(2)``
+        provably compress; values below ``2.17`` provably expand.
+    seed:
+        Seed or generator for reproducible runs.
+
+    Notes
+    -----
+    The occupied node set, the particle position list and the induced edge
+    count are maintained incrementally, so a single step costs time
+    independent of the system size.
+    """
+
+    def __init__(
+        self,
+        initial: ParticleConfiguration,
+        lam: float,
+        seed: RandomState = None,
+    ) -> None:
+        if lam <= 0:
+            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        if not initial.is_connected:
+            raise ConfigurationError("the initial configuration must be connected")
+        self.lam = float(lam)
+        self._rng = make_rng(seed)
+        self._positions: List[Node] = sorted(initial.nodes)
+        self._occupied: Dict[Node, int] = {
+            node: index for index, node in enumerate(self._positions)
+        }
+        self._edge_count = initial.edge_count
+        self._n = len(self._positions)
+        self._iterations = 0
+        self._accepted = 0
+        self._rejections: Dict[str, int] = {reason: 0 for reason in REJECTION_REASONS}
+        # Precompute acceptance probabilities for each possible edge delta.
+        self._acceptance = {delta: min(1.0, self.lam ** delta) for delta in range(-6, 7)}
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self._n
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations performed so far."""
+        return self._iterations
+
+    @property
+    def accepted_moves(self) -> int:
+        """Number of iterations that resulted in a particle move."""
+        return self._accepted
+
+    @property
+    def rejection_counts(self) -> Dict[str, int]:
+        """Counts of rejected proposals grouped by rejection reason."""
+        return dict(self._rejections)
+
+    @property
+    def edge_count(self) -> int:
+        """The current number of induced edges ``e(sigma)`` (maintained incrementally)."""
+        return self._edge_count
+
+    @property
+    def occupied(self) -> frozenset[Node]:
+        """The current set of occupied nodes."""
+        return frozenset(self._occupied)
+
+    @property
+    def configuration(self) -> ParticleConfiguration:
+        """The current configuration as an immutable value object."""
+        return ParticleConfiguration(self._occupied)
+
+    def perimeter(self) -> int:
+        """The current perimeter ``p(sigma)`` (computed exactly, holes included)."""
+        return self.configuration.perimeter
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def step(self) -> StepResult:
+        """Perform one iteration of Algorithm M and report what happened."""
+        self._iterations += 1
+        rng = self._rng
+        index = int(rng.integers(0, self._n))
+        source = self._positions[index]
+        direction = DIRECTIONS[int(rng.integers(0, 6))]
+        target = add(source, direction)
+        move = Move(source=source, target=target)
+
+        if target in self._occupied:
+            self._rejections["target_occupied"] += 1
+            return StepResult(False, move, None, "target_occupied")
+
+        occupied = self._occupied
+        neighbors_before = self._count_neighbors(source, exclude_source=None)
+        if neighbors_before == FORBIDDEN_NEIGHBOR_COUNT:
+            self._rejections["five_neighbors"] += 1
+            edge_delta = self._count_neighbors(target, exclude_source=source) - neighbors_before
+            return StepResult(False, move, edge_delta, "five_neighbors")
+
+        neighbors_after = self._count_neighbors(target, exclude_source=source)
+        edge_delta = neighbors_after - neighbors_before
+
+        if not satisfies_either_property(occupied, source, target):
+            self._rejections["property_failed"] += 1
+            return StepResult(False, move, edge_delta, "property_failed")
+
+        q = float(rng.random())
+        if q >= self._acceptance[edge_delta]:
+            self._rejections["metropolis_rejected"] += 1
+            return StepResult(False, move, edge_delta, "metropolis_rejected")
+
+        self._apply(index, source, target, edge_delta)
+        return StepResult(True, move, edge_delta, "moved")
+
+    def run(self, iterations: int, callback: Optional[Callable[[int, StepResult], None]] = None) -> None:
+        """Run the chain for a number of iterations.
+
+        Parameters
+        ----------
+        iterations:
+            Number of iterations of Algorithm M to perform.
+        callback:
+            Optional function called as ``callback(iteration_index, result)``
+            after every iteration (used by the tracing layer).
+        """
+        if iterations < 0:
+            raise ConfigurationError(f"iterations must be non-negative, got {iterations}")
+        if callback is None:
+            for _ in range(iterations):
+                self.step()
+        else:
+            for _ in range(iterations):
+                result = self.step()
+                callback(self._iterations, result)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _count_neighbors(self, location: Node, exclude_source: Optional[Node]) -> int:
+        occupied = self._occupied
+        x, y = location
+        count = 0
+        for dx, dy in DIRECTIONS:
+            node = (x + dx, y + dy)
+            if node in occupied and node != exclude_source:
+                count += 1
+        return count
+
+    def _apply(self, index: int, source: Node, target: Node, edge_delta: int) -> None:
+        del self._occupied[source]
+        self._occupied[target] = index
+        self._positions[index] = target
+        self._edge_count += edge_delta
+        self._accepted += 1

@@ -1,0 +1,66 @@
+"""Metropolis–Hastings filtering (Section 2.4).
+
+Given a desired stationary distribution ``pi`` and a symmetric proposal
+scheme, the Metropolis filter accepts a proposed transition from ``x`` to
+``y`` with probability ``min(1, pi(y) / pi(x))``.  For the compression
+chain the ratio ``pi(y)/pi(x)`` collapses to ``lambda^(e' - e)``, a purely
+local quantity, which is what allows the chain to be executed by particles
+that only see their own neighborhood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.rng import RandomState, make_rng
+
+
+def acceptance_probability(lam: float, edge_delta: int) -> float:
+    """Metropolis acceptance probability ``min(1, lambda^edge_delta)``."""
+    if lam <= 0:
+        raise AnalysisError(f"lambda must be positive, got {lam}")
+    return min(1.0, float(lam) ** edge_delta)
+
+
+@dataclass
+class MetropolisFilter:
+    """A reusable Metropolis coin for edge-count-difference acceptance tests.
+
+    Algorithm M draws ``q`` uniformly from ``(0, 1)`` and accepts the move
+    when ``q < lambda^(e' - e)`` (Condition (3)).  The filter exposes both
+    that raw form (:meth:`accept_with_uniform`) and a self-contained form
+    that draws its own randomness (:meth:`accept`).
+
+    The paper notes that only constant precision is required for ``q``
+    because ``e' - e`` is a small bounded integer and ``lambda`` is a
+    constant; this implementation simply uses a double-precision uniform
+    draw.
+    """
+
+    lam: float
+    seed: RandomState = None
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise AnalysisError(f"lambda must be positive, got {self.lam}")
+        self._rng = make_rng(self.seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The filter's random generator (shared with its owner when passed in)."""
+        return self._rng
+
+    def probability(self, edge_delta: int) -> float:
+        """Acceptance probability for a move with the given edge-count change."""
+        return acceptance_probability(self.lam, edge_delta)
+
+    def accept_with_uniform(self, edge_delta: int, q: float) -> bool:
+        """Condition (3) of Algorithm M: accept iff ``q < lambda^edge_delta``."""
+        return q < float(self.lam) ** edge_delta
+
+    def accept(self, edge_delta: int) -> bool:
+        """Draw a fresh uniform and apply the filter."""
+        return self.accept_with_uniform(edge_delta, float(self._rng.random()))

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LatticeError(ReproError):
+    """Raised for invalid lattice coordinates or adjacency queries."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid particle configurations (empty, overlapping, ...)."""
+
+
+class DisconnectedConfigurationError(ConfigurationError):
+    """Raised when an operation requires a connected configuration."""
+
+
+class HoleError(ConfigurationError):
+    """Raised when an operation requires a hole-free configuration."""
+
+
+class InvalidMoveError(ReproError):
+    """Raised when a particle move violates the chain's move rules."""
+
+
+class SchedulerError(ReproError):
+    """Raised by the asynchronous amoebot scheduler."""
+
+
+class AlgorithmError(ReproError):
+    """Raised by extension algorithms on invalid inputs."""
+
+
+class AnalysisError(ReproError):
+    """Raised by analysis routines on invalid inputs (e.g. too-large state spaces)."""
+
+
+class SerializationError(ReproError):
+    """Raised on malformed serialized payloads."""

@@ -1,0 +1,21 @@
+"""Serialization of configurations, traces and experiment records."""
+
+from repro.io.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_configuration,
+    load_experiment_record,
+    save_configuration,
+    save_experiment_record,
+    trace_to_json,
+)
+
+__all__ = [
+    "configuration_from_json",
+    "configuration_to_json",
+    "load_configuration",
+    "load_experiment_record",
+    "save_configuration",
+    "save_experiment_record",
+    "trace_to_json",
+]

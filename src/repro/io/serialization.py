@@ -1,0 +1,105 @@
+"""JSON serialization of configurations, traces and experiment records.
+
+The formats are deliberately plain (lists and dicts of built-in types) so
+that experiment output can be archived, diffed and consumed by external
+tooling without importing this package.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.analysis.experiments import ExperimentRecord
+from repro.core.compression import CompressionTrace
+from repro.errors import SerializationError
+from repro.lattice.configuration import ParticleConfiguration
+
+PathLike = Union[str, Path]
+
+#: Format version embedded in every document for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def configuration_to_json(configuration: ParticleConfiguration) -> Dict[str, Any]:
+    """Serialize a configuration to a JSON-compatible dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "particle_configuration",
+        "n": configuration.n,
+        "nodes": [[x, y] for x, y in configuration.sorted_nodes()],
+    }
+
+
+def configuration_from_json(payload: Dict[str, Any]) -> ParticleConfiguration:
+    """Deserialize a configuration produced by :func:`configuration_to_json`."""
+    try:
+        if payload.get("kind") != "particle_configuration":
+            raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
+        nodes = payload["nodes"]
+        configuration = ParticleConfiguration.from_sorted(nodes)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed configuration payload: {exc}") from exc
+    if "n" in payload and payload["n"] != configuration.n:
+        raise SerializationError(
+            f"declared particle count {payload['n']} does not match {configuration.n} nodes"
+        )
+    return configuration
+
+
+def save_configuration(configuration: ParticleConfiguration, path: PathLike) -> Path:
+    """Write a configuration to a JSON file; returns the path."""
+    output = Path(path)
+    output.write_text(json.dumps(configuration_to_json(configuration), indent=2), encoding="utf-8")
+    return output
+
+
+def load_configuration(path: PathLike) -> ParticleConfiguration:
+    """Read a configuration from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read configuration from {path}: {exc}") from exc
+    return configuration_from_json(payload)
+
+
+def trace_to_json(trace: CompressionTrace) -> Dict[str, Any]:
+    """Serialize a compression trace (the data behind Figures 2 and 10)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "compression_trace",
+        "n": trace.n,
+        "lambda": trace.lam,
+        "points": [asdict(point) for point in trace.points],
+    }
+
+
+def save_experiment_record(record: ExperimentRecord, path: PathLike) -> Path:
+    """Write an experiment record to a JSON file; returns the path."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "kind": "experiment_record",
+        **asdict(record),
+    }
+    output = Path(path)
+    output.write_text(json.dumps(payload, indent=2, default=str), encoding="utf-8")
+    return output
+
+
+def load_experiment_record(path: PathLike) -> ExperimentRecord:
+    """Read an experiment record from a JSON file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("kind") != "experiment_record":
+            raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
+        return ExperimentRecord(
+            experiment_id=payload["experiment_id"],
+            description=payload["description"],
+            parameters=payload["parameters"],
+            results=payload["results"],
+            expectation=payload["expectation"],
+        )
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise SerializationError(f"cannot read experiment record from {path}: {exc}") from exc

@@ -1,0 +1,126 @@
+"""The hexagonal dual lattice of ``G_Delta``.
+
+The triangular lattice and the hexagonal (honeycomb) lattice are planar
+duals: placing a vertex in every triangular face and joining vertices of
+faces that share an edge yields the honeycomb (Figure 9a of the paper).
+Equivalently, every node of ``G_Delta`` corresponds to a hexagonal face of
+the honeycomb, and a particle configuration corresponds to a union of
+hexagons (Lemma 4.3, Figure 9b).
+
+Hexagonal-lattice vertices are represented as anchored triangular faces
+``(x, y, "U")`` or ``(x, y, "D")``:
+
+* ``(x, y, "U")`` is the "up" triangle ``{(x, y), (x+1, y), (x, y+1)}``,
+* ``(x, y, "D")`` is the "down" triangle ``{(x, y), (x+1, y), (x+1, y-1)}``.
+
+Every hexagonal-lattice vertex has exactly three neighbors, and the
+hexagonal face dual to lattice node ``v`` consists of the six triangles
+incident to ``v``.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, List, Tuple
+
+from repro.errors import LatticeError
+from repro.lattice.triangular import Node, neighbors
+
+#: A vertex of the hexagonal lattice: an anchored triangular face of ``G_Delta``.
+HexVertex = Tuple[int, int, str]
+
+#: The two face orientations.
+HEX_DIRECTIONS: tuple[str, str] = ("U", "D")
+
+
+def hex_vertex_neighbors(vertex: HexVertex) -> Tuple[HexVertex, HexVertex, HexVertex]:
+    """Return the three neighbors of a hexagonal-lattice vertex.
+
+    An up triangle ``U(x, y)`` shares edges with the down triangles
+    ``D(x, y)``, ``D(x-1, y+1)`` and ``D(x, y+1)``; a down triangle
+    ``D(x, y)`` shares edges with ``U(x, y)``, ``U(x+1, y-1)`` and
+    ``U(x, y-1)``.
+    """
+    x, y, orientation = vertex
+    if orientation == "U":
+        return ((x, y, "D"), (x - 1, y + 1, "D"), (x, y + 1, "D"))
+    if orientation == "D":
+        return ((x, y, "U"), (x + 1, y - 1, "U"), (x, y - 1, "U"))
+    raise LatticeError(f"invalid hexagonal vertex orientation {orientation!r}")
+
+
+def hex_face_vertices(node: Node) -> Tuple[HexVertex, ...]:
+    """Return the six hexagonal-lattice vertices of the face dual to ``node``.
+
+    These are the six triangular faces of ``G_Delta`` incident to ``node``,
+    listed counterclockwise.
+    """
+    x, y = node
+    return (
+        (x, y, "U"),
+        (x - 1, y + 1, "D"),
+        (x - 1, y, "U"),
+        (x - 1, y, "D"),
+        (x, y - 1, "U"),
+        (x, y, "D"),
+    )
+
+
+def dual_face_edges(node: Node) -> List[Tuple[HexVertex, HexVertex]]:
+    """Return the six hexagon edges bounding the dual face of ``node``.
+
+    Each edge is returned as a pair of hexagonal-lattice vertices.  The
+    edge shared between the dual faces of adjacent lattice nodes ``v`` and
+    ``w`` is dual to the lattice edge ``(v, w)``.
+    """
+    vertices = hex_face_vertices(node)
+    return [
+        (vertices[i], vertices[(i + 1) % len(vertices)]) for i in range(len(vertices))
+    ]
+
+
+def configuration_to_dual_faces(occupied: AbstractSet[Node]) -> FrozenSet[Node]:
+    """Return the set of hexagonal faces covered by the configuration.
+
+    Faces of the honeycomb are in bijection with nodes of ``G_Delta``, so
+    this is simply the occupied node set; the function exists to make the
+    duality explicit at call sites and to validate its input.
+    """
+    return frozenset(occupied)
+
+
+def dual_boundary_length(occupied: AbstractSet[Node]) -> int:
+    """Return the boundary length of the union of hexagons dual to ``occupied``.
+
+    This counts hexagon edges with a covered face on one side and an
+    uncovered face on the other, i.e. adjacent lattice pairs with exactly
+    one occupied endpoint.  For a connected hole-free configuration of
+    perimeter ``p`` this equals ``2 p + 6`` (Lemma 4.3); each hole of
+    boundary length ``p_H`` contributes a further ``2 p_H - 6``.
+    """
+    if not occupied:
+        return 0
+    count = 0
+    for node in occupied:
+        for nb in neighbors(node):
+            if nb not in occupied:
+                count += 1
+    return count
+
+
+def dual_boundary_polygon_length(occupied: AbstractSet[Node]) -> int:
+    """Return only the *external* dual boundary length (excluding hole boundaries).
+
+    Equals ``2 p_ext + 6`` where ``p_ext`` is the external perimeter of the
+    configuration.
+    """
+    from repro.lattice.holes import hole_cells
+
+    if not occupied:
+        return 0
+    enclosed = hole_cells(occupied)
+    count = 0
+    for node in occupied:
+        for nb in neighbors(node):
+            if nb not in occupied and nb not in enclosed:
+                count += 1
+    return count

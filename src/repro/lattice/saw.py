@@ -1,0 +1,132 @@
+"""Self-avoiding walks and polygons on the hexagonal lattice.
+
+The compression proof hinges on Theorem 4.2 (Duminil-Copin and Smirnov):
+the connective constant of the hexagonal lattice is exactly
+``sqrt(2 + sqrt(2)) ~ 1.8478``, so the number of self-avoiding walks of
+length ``l`` grows like ``f(l) * (2 + sqrt(2))^(l/2)`` for a subexponential
+``f``.  Lemma 4.3 then bounds the number of configurations with perimeter
+``k`` by the number of self-avoiding polygons of perimeter ``2k + 6``.
+
+This module enumerates self-avoiding walks and polygons on the honeycomb at
+laptop scale, which is enough to observe the convergence of
+``N_l^(1/l)`` toward the connective constant and to validate the counting
+inequalities used in Lemma 4.4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.lattice.hex_dual import HexVertex, hex_vertex_neighbors
+
+
+_ORIGIN: HexVertex = (0, 0, "U")
+
+
+def count_self_avoiding_walks(max_length: int) -> List[int]:
+    """Count self-avoiding walks on the hexagonal lattice by length.
+
+    Returns a list ``counts`` with ``counts[l]`` the number of self-avoiding
+    walks of length ``l`` (``l`` edges) starting from a fixed origin vertex;
+    ``counts[0] == 1`` (the empty walk).  Counting is exact, by depth-first
+    enumeration.
+
+    The honeycomb is vertex-transitive, so the choice of origin does not
+    affect the counts.
+    """
+    if max_length < 0:
+        raise AnalysisError(f"max_length must be non-negative, got {max_length}")
+    counts = [0] * (max_length + 1)
+    counts[0] = 1
+    visited = {_ORIGIN}
+    _extend_walk(_ORIGIN, visited, 1, max_length, counts)
+    return counts
+
+
+def _extend_walk(
+    current: HexVertex,
+    visited: set[HexVertex],
+    length: int,
+    max_length: int,
+    counts: List[int],
+) -> None:
+    if length > max_length:
+        return
+    for neighbor in hex_vertex_neighbors(current):
+        if neighbor in visited:
+            continue
+        counts[length] += 1
+        visited.add(neighbor)
+        _extend_walk(neighbor, visited, length + 1, max_length, counts)
+        visited.discard(neighbor)
+
+
+def count_self_avoiding_polygons(max_length: int) -> Dict[int, int]:
+    """Count rooted self-avoiding polygons on the hexagonal lattice by length.
+
+    A polygon of length ``l`` is a closed walk of ``l`` edges from the origin
+    back to the origin visiting no intermediate vertex twice.  Each
+    undirected polygon through the origin is counted twice (once per
+    traversal direction).  Polygon lengths on the honeycomb are always even
+    and at least six.
+
+    The number of self-avoiding polygons of perimeter ``l`` is at most the
+    number of self-avoiding walks of length ``l`` — the inequality used in
+    Lemma 4.3.
+    """
+    if max_length < 0:
+        raise AnalysisError(f"max_length must be non-negative, got {max_length}")
+    counts: Dict[int, int] = {}
+    visited = {_ORIGIN}
+    _extend_polygon(_ORIGIN, visited, 0, max_length, counts)
+    return dict(sorted(counts.items()))
+
+
+def _extend_polygon(
+    current: HexVertex,
+    visited: set[HexVertex],
+    length: int,
+    max_length: int,
+    counts: Dict[int, int],
+) -> None:
+    if length >= max_length:
+        return
+    for neighbor in hex_vertex_neighbors(current):
+        if neighbor == _ORIGIN and length >= 2:
+            counts[length + 1] = counts.get(length + 1, 0) + 1
+            continue
+        if neighbor in visited:
+            continue
+        visited.add(neighbor)
+        _extend_polygon(neighbor, visited, length + 1, max_length, counts)
+        visited.discard(neighbor)
+
+
+def estimate_connective_constant(max_length: int) -> float:
+    """Estimate the honeycomb connective constant from finite walk counts.
+
+    Uses the two-step ratio estimator ``sqrt(N_l / N_{l-2})`` at the largest
+    available length, which converges to ``mu_hex = sqrt(2 + sqrt(2))``
+    faster than ``N_l^(1/l)`` and avoids the odd/even oscillation of the
+    one-step ratio on a bipartite lattice.  Finite-length estimates
+    approach the constant from above; with ``max_length ~ 14`` the estimate
+    is within a few percent of the exact value.
+    """
+    if max_length < 3:
+        raise AnalysisError("need max_length >= 3 to estimate the connective constant")
+    counts = count_self_avoiding_walks(max_length)
+    return math.sqrt(counts[max_length] / counts[max_length - 2])
+
+
+def connective_constant_upper_bounds(max_length: int) -> List[float]:
+    """Return the sequence of finite-size estimates ``N_l^(1/l)``.
+
+    Because the honeycomb SAW counts are supermultiplicative in the
+    appropriate sense, these values approach the connective constant from
+    above as ``l`` grows; the test suite checks monotone-ish convergence
+    toward ``sqrt(2 + sqrt(2))``.
+    """
+    counts = count_self_avoiding_walks(max_length)
+    return [counts[l] ** (1.0 / l) for l in range(1, max_length + 1)]

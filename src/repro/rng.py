@@ -1,0 +1,46 @@
+"""Deterministic random number handling.
+
+Every stochastic component of the library accepts either ``None`` (fresh
+entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+This module centralizes the conversion so behaviour is reproducible and
+uniform across the code base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the given seed spec.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, or an existing generator
+        (returned unchanged so that callers can thread one generator
+        through a pipeline of components).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Used by the distributed amoebot simulator to give each particle its own
+    stream while keeping the whole run reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the provided generator.
+        child_seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    return [np.random.default_rng(s) for s in root.spawn(count)]

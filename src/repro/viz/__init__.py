@@ -1,0 +1,6 @@
+"""Dependency-free visualization of particle configurations (ASCII and SVG)."""
+
+from repro.viz.ascii_art import render_ascii, render_trace_sparkline
+from repro.viz.svg import render_svg, save_svg
+
+__all__ = ["render_ascii", "render_trace_sparkline", "render_svg", "save_svg"]

@@ -1,0 +1,98 @@
+"""SVG rendering of particle configurations.
+
+Produces standalone SVG documents showing particles as circles at their
+Cartesian positions, induced edges as line segments, and (optionally) the
+external boundary highlighted — the same visual language as Figures 2 and
+10 of the paper, without requiring matplotlib.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.triangular import Node, to_cartesian
+
+
+def render_svg(
+    configuration: ParticleConfiguration,
+    scale: float = 20.0,
+    particle_radius: float = 6.0,
+    draw_edges: bool = True,
+    highlight_boundary: bool = False,
+    colors: Optional[Dict[Node, str]] = None,
+) -> str:
+    """Return an SVG document depicting the configuration.
+
+    Parameters
+    ----------
+    configuration:
+        The configuration to draw.
+    scale:
+        Pixels per lattice unit.
+    particle_radius:
+        Circle radius in pixels.
+    draw_edges:
+        Whether to draw induced edges (as in the paper's figures).
+    highlight_boundary:
+        Whether to stroke the external boundary walk in red.
+    colors:
+        Optional fill color per node (defaults to black).
+    """
+    points = {node: to_cartesian(node) for node in configuration.nodes}
+    xs = [p[0] for p in points.values()]
+    ys = [p[1] for p in points.values()]
+    margin = 1.0
+    min_x, max_x = min(xs) - margin, max(xs) + margin
+    min_y, max_y = min(ys) - margin, max(ys) + margin
+    width = (max_x - min_x) * scale
+    height = (max_y - min_y) * scale
+
+    def transform(point: tuple[float, float]) -> tuple[float, float]:
+        # Flip y so larger lattice y is drawn higher.
+        return ((point[0] - min_x) * scale, (max_y - point[1]) * scale)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.2f} {height:.2f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if draw_edges:
+        drawn = set()
+        for node in configuration.nodes:
+            for neighbor in configuration.occupied_neighbors(node):
+                key = tuple(sorted((node, neighbor)))
+                if key in drawn:
+                    continue
+                drawn.add(key)
+                x1, y1 = transform(points[node])
+                x2, y2 = transform(points[neighbor])
+                parts.append(
+                    f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+                    'stroke="#555555" stroke-width="2"/>'
+                )
+    if highlight_boundary and configuration.n > 1:
+        walk = configuration.external_boundary.nodes
+        path_points = [transform(points[node]) for node in walk]
+        path = "M " + " L ".join(f"{x:.2f} {y:.2f}" for x, y in path_points) + " Z"
+        parts.append(f'<path d="{path}" fill="none" stroke="#cc2222" stroke-width="2.5"/>')
+    for node in sorted(configuration.nodes):
+        x, y = transform(points[node])
+        fill = colors.get(node, "#111111") if colors else "#111111"
+        parts.append(
+            f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{particle_radius:.2f}" fill="{fill}"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    configuration: ParticleConfiguration,
+    path: Union[str, Path],
+    **kwargs: object,
+) -> Path:
+    """Render the configuration and write it to ``path``; returns the path."""
+    output = Path(path)
+    output.write_text(render_svg(configuration, **kwargs), encoding="utf-8")
+    return output

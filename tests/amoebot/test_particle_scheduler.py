@@ -1,0 +1,120 @@
+"""Tests for particle state handling and the Poisson scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.amoebot.particle import Particle, ParticleState
+from repro.amoebot.scheduler import Activation, PoissonScheduler
+from repro.errors import SchedulerError
+
+
+class TestParticle:
+    def test_contracted_initially(self):
+        particle = Particle(identifier=0, tail=(0, 0))
+        assert particle.is_contracted
+        assert not particle.is_expanded
+        assert particle.state is ParticleState.CONTRACTED
+        assert particle.occupied_nodes() == ((0, 0),)
+
+    def test_expand_and_contract_forward(self):
+        particle = Particle(identifier=0, tail=(0, 0))
+        particle.expand((1, 0))
+        assert particle.is_expanded
+        assert set(particle.occupied_nodes()) == {(0, 0), (1, 0)}
+        particle.contract_forward()
+        assert particle.is_contracted
+        assert particle.tail == (1, 0)
+
+    def test_expand_and_contract_back(self):
+        particle = Particle(identifier=0, tail=(0, 0))
+        particle.expand((0, 1))
+        particle.contract_back()
+        assert particle.tail == (0, 0)
+        assert particle.is_contracted
+
+    def test_invalid_transitions(self):
+        particle = Particle(identifier=0, tail=(0, 0))
+        with pytest.raises(SchedulerError):
+            particle.contract_forward()
+        with pytest.raises(SchedulerError):
+            particle.expand((2, 0))  # not adjacent
+        particle.expand((1, 0))
+        with pytest.raises(SchedulerError):
+            particle.expand((0, 1))  # already expanded
+
+
+class TestPoissonScheduler:
+    def test_rejects_empty_system(self):
+        with pytest.raises(SchedulerError):
+            PoissonScheduler([])
+
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(SchedulerError):
+            PoissonScheduler([0, 1], rates={0: 0.0})
+
+    def test_activations_advance_time_monotonically(self):
+        scheduler = PoissonScheduler(list(range(5)), seed=0)
+        times = [scheduler.next().time for _ in range(200)]
+        assert times == sorted(times)
+        assert scheduler.activations == 200
+
+    def test_uniform_rates_give_roughly_uniform_activation_shares(self):
+        scheduler = PoissonScheduler(list(range(4)), seed=1)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(8000):
+            counts[scheduler.next().particle_id] += 1
+        shares = np.array(list(counts.values())) / 8000
+        assert np.all(np.abs(shares - 0.25) < 0.03)
+
+    def test_unequal_rates_bias_activation_shares(self):
+        scheduler = PoissonScheduler([0, 1], rates={0: 4.0, 1: 1.0}, seed=2)
+        counts = {0: 0, 1: 0}
+        for _ in range(5000):
+            counts[scheduler.next().particle_id] += 1
+        assert counts[0] > 3 * counts[1]
+
+    def test_round_completion_requires_every_particle(self):
+        scheduler = PoissonScheduler(list(range(6)), seed=3)
+        seen_in_round = set()
+        while scheduler.rounds_completed == 0:
+            activation = scheduler.next()
+            assert activation.round_index == 0
+            seen_in_round.add(activation.particle_id)
+        assert seen_in_round == set(range(6))
+
+    def test_fairness_over_many_activations(self):
+        """Every particle is activated again after any point in time (fairness)."""
+        scheduler = PoissonScheduler(list(range(10)), seed=4)
+        for _ in range(500):
+            scheduler.next()
+        # Coupon-collector: a round of 10 particles needs ~29 activations on
+        # average, so 500 activations complete well over 10 rounds.
+        assert scheduler.rounds_completed >= 10
+
+    def test_pause_and_resume(self):
+        scheduler = PoissonScheduler([0, 1, 2], seed=5)
+        scheduler.pause(0)
+        ids = {scheduler.next().particle_id for _ in range(200)}
+        assert 0 not in ids
+        scheduler.resume(0)
+        ids = {scheduler.next().particle_id for _ in range(200)}
+        assert 0 in ids
+
+    def test_all_paused_raises(self):
+        scheduler = PoissonScheduler([0], seed=6)
+        scheduler.pause(0)
+        with pytest.raises(SchedulerError):
+            scheduler.next()
+
+    def test_unknown_particle_operations_raise(self):
+        scheduler = PoissonScheduler([0], seed=7)
+        with pytest.raises(SchedulerError):
+            scheduler.pause(99)
+        with pytest.raises(SchedulerError):
+            scheduler.resume(99)
+
+    def test_reproducibility(self):
+        a = PoissonScheduler(list(range(3)), seed=8)
+        b = PoissonScheduler(list(range(3)), seed=8)
+        for _ in range(100):
+            assert a.next() == b.next()

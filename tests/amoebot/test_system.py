@@ -1,0 +1,171 @@
+"""Tests for the distributed amoebot system running Algorithm A."""
+
+import pytest
+
+from repro.amoebot.faults import ByzantineFlagLiar, CrashFaultInjector, FaultPlan
+from repro.amoebot.local_algorithm import CompressionAlgorithm, Idle, NeighborhoodView
+from repro.amoebot.system import AmoebotSystem
+from repro.errors import AlgorithmError, ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.geometry import min_perimeter
+from repro.lattice.shapes import line, spiral
+
+
+class TestSetup:
+    def test_requires_connected_start(self):
+        with pytest.raises(ConfigurationError):
+            AmoebotSystem(ParticleConfiguration([(0, 0), (5, 5)]), lam=4.0)
+
+    def test_initial_configuration_round_trips(self):
+        system = AmoebotSystem(line(8), lam=4.0, seed=0)
+        assert system.configuration == line(8)
+        assert system.n == 8
+        assert system.occupied_nodes() == line(8).nodes
+        assert system.expanded_particles() == []
+
+    def test_algorithm_validates_lambda(self):
+        with pytest.raises(AlgorithmError):
+            CompressionAlgorithm(lam=0.0)
+
+
+class TestDynamicsAndInvariants:
+    def test_tail_configuration_stays_connected_and_hole_free(self):
+        system = AmoebotSystem(line(20), lam=4.0, seed=1)
+        for _ in range(10):
+            system.run(2000)
+            configuration = system.configuration
+            assert configuration.is_connected
+            assert configuration.is_hole_free
+            assert configuration.n == 20
+
+    def test_occupancy_map_consistency(self):
+        system = AmoebotSystem(line(15), lam=4.0, seed=2)
+        system.run(10_000)
+        occupied = system.occupied_nodes()
+        tails = {p.tail for p in system.particles.values()}
+        heads = {p.head for p in system.particles.values() if p.head is not None}
+        assert occupied == tails | heads
+        assert len(tails) == 15
+        assert tails.isdisjoint(heads)
+
+    def test_expanded_particles_have_no_expanded_neighbors_with_true_flag(self):
+        """The flag mechanism serializes movements within each neighborhood."""
+        from repro.lattice.triangular import neighbors
+
+        system = AmoebotSystem(line(20), lam=4.0, seed=3)
+        system.run(5000)
+        flagged = [
+            p for p in system.particles.values() if p.is_expanded and p.flag
+        ]
+        for particle in flagged:
+            adjacent_nodes = set()
+            for node in particle.occupied_nodes():
+                adjacent_nodes.update(neighbors(node))
+            adjacent_nodes -= set(particle.occupied_nodes())
+            for other in system.particles.values():
+                if other.identifier == particle.identifier or not other.is_expanded:
+                    continue
+                # No other expanded particle may have started its expansion
+                # after this flagged particle did and still overlap its
+                # neighborhood with a True flag of its own.
+                if other.flag:
+                    assert not (set(other.occupied_nodes()) & adjacent_nodes)
+
+    def test_compression_progresses_under_strong_bias(self):
+        system = AmoebotSystem(line(30), lam=5.0, seed=4)
+        start = system.perimeter()
+        system.run(120_000)
+        assert system.perimeter() < start
+        assert system.stats.completed_moves > 0
+        assert system.compression_ratio() < start / min_perimeter(30)
+
+    def test_run_rounds(self):
+        system = AmoebotSystem(line(10), lam=4.0, seed=5)
+        system.run_rounds(5)
+        assert system.scheduler.rounds_completed >= 5
+
+    def test_stats_accounting(self):
+        system = AmoebotSystem(line(10), lam=4.0, seed=6)
+        system.run(3000)
+        stats = system.stats
+        assert stats.activations == 3000
+        assert stats.expansions >= stats.completed_moves
+        assert stats.expansions == stats.completed_moves + stats.aborted_moves + len(
+            system.expanded_particles()
+        )
+
+    def test_parameter_validation(self):
+        system = AmoebotSystem(line(5), lam=4.0, seed=7)
+        with pytest.raises(ConfigurationError):
+            system.run(-1)
+        with pytest.raises(ConfigurationError):
+            system.run_rounds(-1)
+
+
+class TestEquivalenceWithChain:
+    def test_distributed_and_centralized_runs_compress_similarly(self):
+        """Section 3.2's equivalence, checked statistically: both engines drive the
+        perimeter of the same starting line into the same ballpark."""
+        from repro.core.compression import CompressionSimulation
+
+        chain_sim = CompressionSimulation.from_line(25, lam=5.0, seed=8)
+        chain_sim.run(60_000, record_every=60_000)
+        system = AmoebotSystem(line(25), lam=5.0, seed=8)
+        # Roughly two activations are needed per chain iteration (expand + contract).
+        system.run(180_000)
+        chain_perimeter = chain_sim.chain.perimeter()
+        system_perimeter = system.perimeter()
+        start = 2 * 25 - 2
+        assert chain_perimeter < 0.75 * start
+        assert system_perimeter < 0.75 * start
+
+    def test_perimeter_ignores_heads_of_expanded_particles(self):
+        system = AmoebotSystem(line(12), lam=4.0, seed=9)
+        system.run(2000)
+        # The configuration (tails only) always has exactly n nodes even
+        # while some particles are expanded.
+        assert system.configuration.n == 12
+
+
+class TestFaults:
+    def test_crashed_particles_never_move_again(self):
+        system = AmoebotSystem(line(12), lam=4.0, seed=10)
+        system.crash(3)
+        position = system.particles[3].tail
+        system.run(20_000)
+        assert system.particles[3].tail == position
+        assert system.configuration.is_connected
+
+    def test_crash_fault_injector(self):
+        system = AmoebotSystem(line(20), lam=4.0, seed=11)
+        injector = CrashFaultInjector(fraction=0.2, after_activations=500, seed=1)
+        plan = FaultPlan(injectors=[injector])
+        plan.run(system, activations=40_000)
+        assert len(injector.crashed_ids) == 4
+        assert all(system.particles[i].crashed for i in injector.crashed_ids)
+        # The healthy particles keep compressing around the crashed ones.
+        assert system.perimeter() < 2 * 20 - 2
+        assert system.configuration.is_connected
+
+    def test_byzantine_particles_do_not_break_invariants(self):
+        system = AmoebotSystem(line(15), lam=4.0, seed=12)
+        injector = ByzantineFlagLiar(fraction=0.2, seed=2)
+        injector.maybe_inject(system)
+        assert len(injector.byzantine_ids) == 3
+        system.run(20_000)
+        configuration = system.configuration
+        assert configuration.is_connected
+        assert configuration.is_hole_free
+        assert configuration.n == 15
+
+    def test_injector_validation(self):
+        with pytest.raises(AlgorithmError):
+            CrashFaultInjector(fraction=1.5)
+        with pytest.raises(AlgorithmError):
+            ByzantineFlagLiar(fraction=-0.1)
+
+    def test_injection_is_idempotent(self):
+        system = AmoebotSystem(line(10), lam=4.0, seed=13)
+        injector = CrashFaultInjector(fraction=0.1, seed=3)
+        assert injector.maybe_inject(system)
+        assert not injector.maybe_inject(system)

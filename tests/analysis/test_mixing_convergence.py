@@ -1,0 +1,144 @@
+"""Tests for mixing diagnostics, convergence measurement and statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    fit_power_law,
+    measure_compression_time,
+    scaling_study,
+)
+from repro.analysis.mixing import (
+    mixing_time_upper_estimate,
+    spectral_gap,
+    total_variation_distance,
+    tv_distance_to_stationarity,
+)
+from repro.analysis.statistics import (
+    autocorrelation,
+    batch_means,
+    bootstrap_confidence_interval,
+    integrated_autocorrelation_time,
+)
+from repro.core.stationary import (
+    build_state_space,
+    exact_stationary_distribution,
+    transition_matrix,
+)
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def exact_chain_3():
+    space = build_state_space(3)
+    matrix = transition_matrix(space, lam=3.0)
+    distribution = exact_stationary_distribution(space, lam=3.0)
+    return space, matrix, distribution
+
+
+class TestMixingDiagnostics:
+    def test_total_variation_distance_basics(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+        with pytest.raises(AnalysisError):
+            total_variation_distance([1.0], [0.5, 0.5])
+
+    def test_spectral_gap_positive_for_ergodic_chain(self, exact_chain_3):
+        _, matrix, _ = exact_chain_3
+        gap = spectral_gap(matrix)
+        assert 0 < gap <= 1
+
+    def test_tv_distance_decreases_with_steps(self, exact_chain_3):
+        _, matrix, distribution = exact_chain_3
+        distances = [
+            tv_distance_to_stationarity(matrix, distribution, start_index=0, steps=steps)
+            for steps in (0, 50, 200, 800)
+        ]
+        assert distances[0] > distances[-1]
+        assert distances[-1] < 0.05
+
+    def test_mixing_time_estimate_is_finite(self, exact_chain_3):
+        _, matrix, distribution = exact_chain_3
+        t_mix = mixing_time_upper_estimate(matrix, distribution, epsilon=0.25)
+        assert 1 <= t_mix < 10_000
+
+    def test_validation(self, exact_chain_3):
+        _, matrix, distribution = exact_chain_3
+        with pytest.raises(AnalysisError):
+            spectral_gap(np.zeros((2, 3)))
+        with pytest.raises(AnalysisError):
+            tv_distance_to_stationarity(matrix, distribution, 0, steps=-1)
+
+
+class TestConvergence:
+    def test_measure_compression_time_small_system(self):
+        # A line of 12 particles has perimeter 22 while 1.8 * pmin(12) = 16.2,
+        # so the start is genuinely uncompressed and the measurement is positive.
+        iterations = measure_compression_time(
+            12, lam=6.0, alpha=1.8, max_iterations=400_000, seed=0
+        )
+        assert iterations is not None
+        assert iterations > 0
+
+    def test_budget_exhaustion_returns_none(self):
+        assert (
+            measure_compression_time(40, lam=4.0, alpha=1.05, max_iterations=1000, seed=1)
+            is None
+        )
+
+    def test_fit_power_law_recovers_known_exponent(self):
+        sizes = [10, 20, 40, 80]
+        values = [3.0 * n ** 3 for n in sizes]
+        prefactor, exponent = fit_power_law(sizes, values)
+        assert exponent == pytest.approx(3.0, rel=1e-6)
+        assert prefactor == pytest.approx(3.0, rel=1e-6)
+        with pytest.raises(AnalysisError):
+            fit_power_law([1], [1])
+
+    def test_scaling_study_structure(self):
+        result = scaling_study(
+            sizes=[10, 14], lam=6.0, alpha=1.8, repetitions=1, budget_factor=400.0, seed=2
+        )
+        assert result.sizes == [10, 14]
+        assert len(result.times) == 2
+        assert len(result.per_size_times) == 2
+        if result.exponent is not None:
+            assert result.exponent > 0
+
+
+class TestStatistics:
+    def test_autocorrelation_of_iid_noise_decays(self):
+        rng = np.random.default_rng(0)
+        series = rng.normal(size=4000)
+        rho = autocorrelation(series, max_lag=20)
+        assert rho[0] == pytest.approx(1.0)
+        assert abs(rho[5]) < 0.1
+        assert integrated_autocorrelation_time(series) < 2.0
+
+    def test_autocorrelation_of_persistent_series_is_high(self):
+        series = np.repeat(np.arange(50.0), 20)
+        rho = autocorrelation(series, max_lag=10)
+        assert rho[5] > 0.9
+        assert integrated_autocorrelation_time(series) > 5.0
+
+    def test_batch_means(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(loc=3.0, size=1000)
+        mean, stderr = batch_means(series, batches=10)
+        assert mean == pytest.approx(3.0, abs=0.2)
+        assert stderr < 0.2
+        with pytest.raises(AnalysisError):
+            batch_means([1.0, 2.0], batches=5)
+
+    def test_bootstrap_confidence_interval_contains_mean(self):
+        rng = np.random.default_rng(2)
+        series = rng.normal(loc=7.0, size=400)
+        low, high = bootstrap_confidence_interval(series, seed=3)
+        assert low < 7.0 < high
+        assert high - low < 1.0
+        with pytest.raises(AnalysisError):
+            bootstrap_confidence_interval([1.0], seed=0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            autocorrelation([1.0, 2.0, 3.0], max_lag=10)

@@ -1,0 +1,89 @@
+"""Tests for the energy functions and the Metropolis filter."""
+
+import math
+
+import pytest
+
+from repro.core.energy import (
+    CompressionEnergy,
+    edge_hamiltonian,
+    log_weight,
+    perimeter_weight,
+    weight,
+)
+from repro.core.metropolis import MetropolisFilter, acceptance_probability
+from repro.errors import AnalysisError
+from repro.lattice.shapes import hexagon, line, spiral
+
+
+class TestEnergy:
+    def test_hamiltonian_is_negative_edge_count(self, flower):
+        assert edge_hamiltonian(flower) == -12
+
+    def test_weight_forms_agree_up_to_constant(self):
+        """lambda^e and lambda^{-p} differ by the constant lambda^{3n-3} (Corollary 3.14)."""
+        lam = 3.0
+        for configuration in [line(8), hexagon(1), spiral(12)]:
+            n = configuration.n
+            ratio = weight(configuration, lam) / perimeter_weight(configuration, lam)
+            assert math.isclose(ratio, lam ** (3 * n - 3), rel_tol=1e-9)
+
+    def test_log_weight(self, flower):
+        assert math.isclose(log_weight(flower, 2.0), 12 * math.log(2.0))
+
+    def test_compressed_configurations_have_lower_energy(self):
+        compressed = spiral(20)
+        stretched = line(20)
+        energy = CompressionEnergy(lam=4.0)
+        assert energy.hamiltonian(compressed) < energy.hamiltonian(stretched)
+        assert energy.weight(compressed) > energy.weight(stretched)
+
+    def test_weight_ratio_is_local(self):
+        energy = CompressionEnergy(lam=2.0)
+        assert energy.weight_ratio(2) == 4.0
+        assert energy.weight_ratio(-1) == 0.5
+
+    def test_invalid_lambda(self):
+        with pytest.raises(AnalysisError):
+            CompressionEnergy(lam=0.0)
+        with pytest.raises(AnalysisError):
+            weight(line(3), -1.0)
+
+
+class TestMetropolis:
+    def test_acceptance_probability_clipping(self):
+        assert acceptance_probability(4.0, 2) == 1.0
+        assert acceptance_probability(4.0, -1) == 0.25
+        assert acceptance_probability(0.5, -1) == 1.0
+        assert acceptance_probability(0.5, 2) == 0.25
+
+    def test_invalid_lambda_rejected(self):
+        with pytest.raises(AnalysisError):
+            acceptance_probability(0.0, 1)
+        with pytest.raises(AnalysisError):
+            MetropolisFilter(lam=-2.0)
+
+    def test_filter_matches_condition_3(self):
+        """q < lambda^(e'-e) is exactly the paper's acceptance rule."""
+        metropolis = MetropolisFilter(lam=4.0, seed=0)
+        assert metropolis.accept_with_uniform(edge_delta=-1, q=0.2)
+        assert not metropolis.accept_with_uniform(edge_delta=-1, q=0.3)
+        assert metropolis.accept_with_uniform(edge_delta=3, q=0.999999)
+
+    def test_empirical_acceptance_rate_matches_probability(self):
+        metropolis = MetropolisFilter(lam=4.0, seed=123)
+        trials = 20_000
+        accepted = sum(metropolis.accept(-1) for _ in range(trials))
+        assert abs(accepted / trials - 0.25) < 0.02
+
+    def test_uphill_moves_always_accepted(self):
+        metropolis = MetropolisFilter(lam=4.0, seed=5)
+        assert all(metropolis.accept(1) for _ in range(1000))
+
+    def test_detailed_balance_of_acceptance_ratios(self):
+        """acceptance(delta) / acceptance(-delta) == lambda^delta for every delta."""
+        lam = 3.0
+        for delta in range(-4, 5):
+            forward = acceptance_probability(lam, delta)
+            backward = acceptance_probability(lam, -delta)
+            assert math.isclose(forward / backward, lam ** delta, rel_tol=1e-12)

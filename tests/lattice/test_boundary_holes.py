@@ -1,0 +1,141 @@
+"""Tests for boundary walks, perimeter computation and hole detection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lattice.boundary import (
+    boundary_adjacency_counts,
+    external_boundary_walk,
+    hole_boundary_walks,
+    total_perimeter,
+)
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.holes import exterior_cells, find_holes, has_holes, hole_cells
+from repro.lattice.shapes import hexagon, line, random_connected, ring, spiral, staircase
+
+
+class TestHoleDetection:
+    def test_solid_shapes_have_no_holes(self):
+        for configuration in [line(8), hexagon(2), spiral(20), staircase(9)]:
+            assert not has_holes(configuration.nodes)
+            assert find_holes(configuration.nodes) == []
+
+    def test_ring_has_single_one_cell_hole(self):
+        holes = find_holes(ring(1).nodes)
+        assert holes == [frozenset({(0, 0)})]
+
+    def test_larger_ring_hole(self):
+        holes = find_holes(ring(2).nodes)
+        assert len(holes) == 1
+        assert len(holes[0]) == 7  # hexagon(1) worth of empty cells
+
+    def test_two_separate_holes(self):
+        # Two rings sharing one particle column, far enough apart to keep
+        # their holes distinct.
+        left = ring(1)
+        right = ring(1).translate((3, 0))
+        bridge = {(1, 0), (2, 0)}
+        nodes = left.nodes | right.nodes | bridge
+        configuration = ParticleConfiguration(nodes)
+        assert configuration.is_connected
+        holes = find_holes(configuration.nodes)
+        assert len(holes) == 2
+        assert {frozenset({(0, 0)}), frozenset({(3, 0)})} == set(holes)
+
+    def test_exterior_and_hole_cells_are_disjoint(self, hex_ring):
+        outside = exterior_cells(hex_ring.nodes)
+        enclosed = hole_cells(hex_ring.nodes)
+        assert outside.isdisjoint(enclosed)
+        assert enclosed == {(0, 0)}
+
+    def test_empty_input(self):
+        assert exterior_cells(set()) == set()
+        assert hole_cells(set()) == set()
+        assert find_holes(set()) == []
+
+
+class TestPerimeter:
+    def test_known_perimeters(self):
+        assert total_perimeter({(0, 0)}) == 0
+        assert total_perimeter({(0, 0), (1, 0)}) == 2
+        assert total_perimeter(line(5).nodes) == 8
+        assert total_perimeter(hexagon(1).nodes) == 6
+        assert total_perimeter(hexagon(2).nodes) == 12
+        assert total_perimeter(ring(1).nodes) == 12
+
+    def test_empty_and_disconnected_rejected(self):
+        with pytest.raises(ConfigurationError):
+            total_perimeter(set())
+        with pytest.raises(ConfigurationError):
+            total_perimeter({(0, 0), (5, 5)})
+
+    def test_lemma_2_3_on_random_hole_free_configurations(self):
+        """e = 3n - p - 3 for connected hole-free configurations (Lemma 2.3)."""
+        from repro.lattice.shapes import random_hole_free
+
+        for seed in range(8):
+            configuration = random_hole_free(18, seed=seed)
+            assert configuration.is_hole_free
+            assert configuration.edge_count == 3 * configuration.n - configuration.perimeter - 3
+
+    def test_lemma_2_4_on_random_hole_free_configurations(self):
+        """t = 2n - p - 2 for connected hole-free configurations (Lemma 2.4)."""
+        from repro.lattice.shapes import random_hole_free
+
+        for seed in range(8):
+            configuration = random_hole_free(15, seed=100 + seed)
+            assert configuration.triangle_count == 2 * configuration.n - configuration.perimeter - 2
+
+    def test_lemma_2_1_lower_bound(self, random_configs):
+        """Every connected configuration of n >= 2 particles has perimeter >= sqrt(n)."""
+        import math
+
+        for configuration in random_configs:
+            assert configuration.perimeter >= math.sqrt(configuration.n)
+
+
+class TestBoundaryWalks:
+    def test_external_walk_of_two_particles(self):
+        walk = external_boundary_walk({(0, 0), (1, 0)})
+        assert walk.length == 2
+        assert set(walk.nodes) == {(0, 0), (1, 0)}
+        assert walk.is_external
+
+    def test_single_particle_walk_has_zero_length(self):
+        walk = external_boundary_walk({(0, 0)})
+        assert walk.length == 0
+
+    def test_hole_walk_of_ring(self, hex_ring):
+        walks = hole_boundary_walks(hex_ring.nodes)
+        assert len(walks) == 1
+        assert walks[0].length == 6
+        assert not walks[0].is_external
+        assert set(walks[0].nodes) <= hex_ring.nodes
+
+    def test_walk_lengths_sum_to_perimeter(self, random_configs, hex_ring, flower):
+        configurations = list(random_configs) + [hex_ring, flower, line(7), staircase(8)]
+        for configuration in configurations:
+            walks = [external_boundary_walk(configuration.nodes)]
+            walks += hole_boundary_walks(configuration.nodes)
+            assert sum(w.length for w in walks) == configuration.perimeter
+
+    def test_adjacency_count_identities(self, flower, hex_ring):
+        exterior, holes = boundary_adjacency_counts(flower.nodes)
+        assert exterior == 2 * flower.perimeter + 6
+        assert holes == []
+        exterior, holes = boundary_adjacency_counts(hex_ring.nodes)
+        assert exterior == 2 * 6 + 6
+        assert holes == [2 * 6 - 6]
+
+    def test_cut_edge_counted_twice(self):
+        """Two triangles joined by a single path edge: the bridge edge lies on the
+        boundary twice, so the perimeter exceeds the simple outline length."""
+        nodes = {(0, 0), (1, 0), (0, 1), (3, 0), (4, 0), (3, 1), (2, 0)}
+        configuration = ParticleConfiguration(nodes)
+        # n=7, e=8 -> p = 3*7 - 8 - 3 = 10 by Lemma 2.3.
+        assert configuration.edge_count == 8
+        assert configuration.perimeter == 10
+        walk = external_boundary_walk(nodes)
+        assert walk.length == 10
+        # The cut vertex (2, 0) is visited twice by the walk.
+        assert sum(1 for node in walk.nodes if node == (2, 0)) == 2

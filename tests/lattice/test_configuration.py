@@ -1,0 +1,124 @@
+"""Unit tests for ParticleConfiguration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DisconnectedConfigurationError, InvalidMoveError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.shapes import hexagon, line, ring, spiral
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParticleConfiguration([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParticleConfiguration([(0, 0), (0, 0)])
+
+    def test_container_protocol(self, triangle):
+        assert len(triangle) == 3
+        assert (0, 0) in triangle
+        assert (5, 5) not in triangle
+        assert set(iter(triangle)) == triangle.nodes
+
+    def test_equality_and_hash(self, triangle):
+        same = ParticleConfiguration([(0, 1), (1, 0), (0, 0)])
+        assert triangle == same
+        assert hash(triangle) == hash(same)
+        assert triangle != ParticleConfiguration([(0, 0), (1, 0), (1, 1)])
+
+    def test_from_sorted_roundtrip(self, flower):
+        rebuilt = ParticleConfiguration.from_sorted(flower.sorted_nodes())
+        assert rebuilt == flower
+
+
+class TestDerivedQuantities:
+    def test_single_particle(self, single_particle):
+        assert single_particle.edge_count == 0
+        assert single_particle.triangle_count == 0
+        assert single_particle.perimeter == 0
+        assert single_particle.is_connected
+        assert single_particle.is_hole_free
+
+    def test_line_quantities(self):
+        configuration = line(6)
+        assert configuration.edge_count == 5
+        assert configuration.triangle_count == 0
+        assert configuration.perimeter == 10
+        assert configuration.diameter == 5
+
+    def test_flower_quantities(self, flower):
+        assert flower.n == 7
+        assert flower.edge_count == 12
+        assert flower.triangle_count == 6
+        assert flower.perimeter == 6
+
+    def test_ring_has_one_hole(self, hex_ring):
+        assert hex_ring.has_holes
+        assert len(hex_ring.holes) == 1
+        assert hex_ring.holes[0] == frozenset({(0, 0)})
+        assert hex_ring.perimeter == 12  # 6 outside + 6 inside
+
+    def test_degree_and_neighbor_queries(self, flower):
+        assert flower.degree((0, 0)) == 6
+        assert len(flower.occupied_neighbors((0, 0))) == 6
+        assert flower.empty_neighbors((0, 0)) == ()
+        assert flower.degree((1, 0)) == 3
+
+    def test_perimeter_requires_connectivity(self):
+        disconnected = ParticleConfiguration([(0, 0), (5, 5)])
+        assert not disconnected.is_connected
+        with pytest.raises(DisconnectedConfigurationError):
+            _ = disconnected.perimeter
+
+    def test_diameter_of_compressed_configuration_is_small(self):
+        configuration = spiral(37)
+        assert configuration.diameter <= 8
+
+
+class TestTransformations:
+    def test_move(self, triangle):
+        moved = triangle.move((0, 1), (1, 1))
+        assert (1, 1) in moved and (0, 1) not in moved
+        assert triangle.nodes != moved.nodes  # original untouched
+
+    def test_move_validation(self, triangle):
+        with pytest.raises(InvalidMoveError):
+            triangle.move((5, 5), (5, 6))
+        with pytest.raises(InvalidMoveError):
+            triangle.move((0, 0), (1, 0))
+        with pytest.raises(InvalidMoveError):
+            triangle.move((0, 0), (3, 3))
+
+    def test_add_remove(self, triangle):
+        grown = triangle.add((1, 1))
+        assert grown.n == 4
+        shrunk = grown.remove((1, 1))
+        assert shrunk == triangle
+        with pytest.raises(ConfigurationError):
+            triangle.add((0, 0))
+        with pytest.raises(ConfigurationError):
+            triangle.remove((9, 9))
+
+    def test_remove_last_particle_rejected(self, single_particle):
+        with pytest.raises(ConfigurationError):
+            single_particle.remove((0, 0))
+
+    def test_translate_and_canonical(self, flower):
+        shifted = flower.translate((10, -4))
+        assert shifted != flower
+        assert shifted.canonical() == flower.canonical()
+        assert shifted.perimeter == flower.perimeter
+        assert shifted.edge_count == flower.edge_count
+
+    def test_require_helpers(self, flower, hex_ring):
+        assert flower.require_connected() is flower
+        assert flower.require_hole_free() is flower
+        with pytest.raises(ConfigurationError):
+            hex_ring.require_hole_free()
+        with pytest.raises(DisconnectedConfigurationError):
+            ParticleConfiguration([(0, 0), (9, 9)]).require_connected()
+
+    def test_to_cartesian_count(self, flower):
+        assert len(flower.to_cartesian()) == flower.n

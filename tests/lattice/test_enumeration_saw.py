@@ -1,0 +1,149 @@
+"""Tests for exhaustive enumeration, the hexagonal dual and self-avoiding walks.
+
+These cover the combinatorial facts the paper's bounds rest on:
+Figure 11 (the 11 three-particle configurations), the benzenoid counting
+series behind Lemma 5.5, the duality of Lemma 4.3, and the connective
+constant of Theorem 4.2.
+"""
+
+import math
+
+import pytest
+
+from repro.constants import (
+    FIXED_POLYHEX_COUNTS,
+    HEXAGONAL_CONNECTIVE_CONSTANT,
+    HOLE_FREE_SIX_PARTICLE_CONFIGURATIONS,
+    THREE_PARTICLE_CONFIGURATIONS,
+)
+from repro.errors import AnalysisError, ConfigurationError
+from repro.lattice.enumeration import (
+    count_configurations,
+    count_configurations_by_perimeter,
+    enumerate_configurations,
+    max_perimeter_configuration_count,
+)
+from repro.lattice.geometry import max_perimeter, min_perimeter
+from repro.lattice.hex_dual import (
+    dual_boundary_length,
+    dual_boundary_polygon_length,
+    dual_face_edges,
+    hex_face_vertices,
+    hex_vertex_neighbors,
+)
+from repro.lattice.saw import (
+    connective_constant_upper_bounds,
+    count_self_avoiding_polygons,
+    count_self_avoiding_walks,
+    estimate_connective_constant,
+)
+from repro.lattice.shapes import hexagon, line, random_hole_free, ring
+
+
+class TestEnumeration:
+    def test_figure_11_eleven_three_particle_configurations(self):
+        assert count_configurations(3, hole_free_only=True) == THREE_PARTICLE_CONFIGURATIONS
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6])
+    def test_polyhex_series(self, n):
+        assert count_configurations(n) == FIXED_POLYHEX_COUNTS[n - 1]
+
+    def test_holes_only_appear_at_six_particles(self):
+        for n in range(1, 6):
+            assert count_configurations(n) == count_configurations(n, hole_free_only=True)
+        assert (
+            count_configurations(6, hole_free_only=True)
+            == HOLE_FREE_SIX_PARTICLE_CONFIGURATIONS
+        )
+        assert count_configurations(6) == HOLE_FREE_SIX_PARTICLE_CONFIGURATIONS + 1
+
+    def test_enumerated_configurations_are_canonical_connected(self):
+        seen = set()
+        for configuration in enumerate_configurations(4):
+            assert configuration.is_connected
+            assert configuration.n == 4
+            assert configuration.canonical() == configuration
+            seen.add(configuration)
+        assert len(seen) == FIXED_POLYHEX_COUNTS[3]
+
+    def test_perimeter_counts_sum_to_total(self):
+        for n in [3, 4, 5]:
+            counts = count_configurations_by_perimeter(n)
+            assert sum(counts.values()) == FIXED_POLYHEX_COUNTS[n - 1]
+            assert min(counts) == min_perimeter(n)
+            assert max(counts) == max_perimeter(n)
+
+    def test_staircase_paths_lower_bound_on_tree_count(self):
+        """Lemma 5.1: the number of maximum-perimeter configurations is at least 2^(n-1)."""
+        for n in [3, 4, 5, 6]:
+            assert max_perimeter_configuration_count(n) >= 2 ** (n - 1)
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            list(enumerate_configurations(0))
+
+
+class TestHexDual:
+    def test_hex_lattice_is_three_regular_and_symmetric(self):
+        for vertex in [(0, 0, "U"), (2, -1, "D"), (-3, 4, "U")]:
+            nbs = hex_vertex_neighbors(vertex)
+            assert len(set(nbs)) == 3
+            for nb in nbs:
+                assert vertex in hex_vertex_neighbors(nb)
+
+    def test_hex_face_is_a_six_cycle(self):
+        face = hex_face_vertices((2, 3))
+        assert len(set(face)) == 6
+        for i, vertex in enumerate(face):
+            assert face[(i + 1) % 6] in hex_vertex_neighbors(vertex)
+        assert len(dual_face_edges((2, 3))) == 6
+
+    def test_lemma_4_3_boundary_relation_hole_free(self):
+        """For connected hole-free configurations the dual boundary has length 2p + 6."""
+        for configuration in [line(5), hexagon(2), random_hole_free(16, seed=3)]:
+            assert dual_boundary_length(configuration.nodes) == 2 * configuration.perimeter + 6
+
+    def test_dual_boundary_with_holes(self, hex_ring):
+        # External 6-perimeter part contributes 2*6+6, the hole contributes 2*6-6.
+        assert dual_boundary_length(hex_ring.nodes) == (2 * 6 + 6) + (2 * 6 - 6)
+        assert dual_boundary_polygon_length(hex_ring.nodes) == 2 * 6 + 6
+
+    def test_empty_configuration(self):
+        assert dual_boundary_length(set()) == 0
+
+
+class TestSelfAvoidingWalks:
+    def test_known_honeycomb_walk_counts(self):
+        # OEIS A001668: 1, 3, 6, 12, 24, 48, 90, 174, 336, 648, 1218, 2328, 4416
+        counts = count_self_avoiding_walks(10)
+        assert counts[:8] == [1, 3, 6, 12, 24, 48, 90, 174]
+        assert counts[9] == 648
+        assert counts[10] == 1218
+
+    def test_polygon_counts_and_parity(self):
+        polygons = count_self_avoiding_polygons(12)
+        # The shortest polygon on the honeycomb is a single hexagonal face;
+        # the root vertex lies on three faces, each traversable in two
+        # directions, giving six rooted directed hexagons.
+        assert polygons[6] == 6
+        assert all(length % 2 == 0 for length in polygons)
+        # Polygons are never more numerous than walks of the same length.
+        walks = count_self_avoiding_walks(12)
+        for length, count in polygons.items():
+            assert count <= walks[length]
+
+    def test_connective_constant_estimate_upper_bounds_exact_value(self):
+        estimate = estimate_connective_constant(13)
+        assert estimate > HEXAGONAL_CONNECTIVE_CONSTANT
+        assert estimate < HEXAGONAL_CONNECTIVE_CONSTANT * 1.05
+
+    def test_root_estimates_decrease_toward_connective_constant(self):
+        estimates = connective_constant_upper_bounds(12)
+        assert estimates[-1] < estimates[1]
+        assert estimates[-1] > HEXAGONAL_CONNECTIVE_CONSTANT
+
+    def test_invalid_arguments(self):
+        with pytest.raises(AnalysisError):
+            count_self_avoiding_walks(-1)
+        with pytest.raises(AnalysisError):
+            estimate_connective_constant(2)

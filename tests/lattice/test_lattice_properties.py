@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the lattice substrate.
+
+These exercise the core geometric invariants on randomly generated
+configurations: the Lemma 2.3/2.4 identities, the agreement between the
+two independent perimeter computations, canonicalization, and
+serialization round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io.serialization import configuration_from_json, configuration_to_json
+from repro.lattice.boundary import external_boundary_walk, hole_boundary_walks
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.hex_dual import dual_boundary_length
+from repro.lattice.shapes import random_connected, random_hole_free
+from repro.lattice.triangular import neighbors
+
+
+@st.composite
+def connected_configurations(draw, min_n: int = 2, max_n: int = 24) -> ParticleConfiguration:
+    """Random connected configurations (possibly with holes)."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    compactness = draw(st.sampled_from([0.0, 0.3, 0.7, 0.95]))
+    return random_connected(n, seed=seed, compactness=compactness)
+
+
+@st.composite
+def hole_free_configurations(draw, min_n: int = 2, max_n: int = 20) -> ParticleConfiguration:
+    """Random connected hole-free configurations."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return random_hole_free(n, seed=seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=hole_free_configurations())
+def test_lemma_2_3_and_2_4_identities(configuration: ParticleConfiguration):
+    n, p = configuration.n, configuration.perimeter
+    assert configuration.edge_count == 3 * n - p - 3
+    assert configuration.triangle_count == 2 * n - p - 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=connected_configurations())
+def test_boundary_walks_agree_with_adjacency_counting(configuration: ParticleConfiguration):
+    walks = [external_boundary_walk(configuration.nodes)]
+    walks += hole_boundary_walks(configuration.nodes)
+    assert sum(w.length for w in walks) == configuration.perimeter
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=connected_configurations())
+def test_perimeter_within_paper_bounds(configuration: ParticleConfiguration):
+    n = configuration.n
+    assert configuration.perimeter >= math.sqrt(n)
+    # With holes the perimeter can exceed 2n - 2 only through hole
+    # boundaries, which are bounded by the number of interior edges; the
+    # simple sanity bound below still holds comfortably.
+    assert configuration.perimeter <= 3 * n
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=hole_free_configurations())
+def test_dual_boundary_relation(configuration: ParticleConfiguration):
+    assert dual_boundary_length(configuration.nodes) == 2 * configuration.perimeter + 6
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=connected_configurations(), dx=st.integers(-30, 30), dy=st.integers(-30, 30))
+def test_translation_invariance_of_derived_quantities(configuration, dx, dy):
+    shifted = configuration.translate((dx, dy))
+    assert shifted.edge_count == configuration.edge_count
+    assert shifted.triangle_count == configuration.triangle_count
+    assert shifted.perimeter == configuration.perimeter
+    assert len(shifted.holes) == len(configuration.holes)
+    assert shifted.canonical() == configuration.canonical()
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=connected_configurations())
+def test_canonicalization_idempotent(configuration: ParticleConfiguration):
+    canonical = configuration.canonical()
+    assert canonical.canonical() == canonical
+    min_x = min(x for x, _ in canonical.nodes)
+    min_y = min(y for _, y in canonical.nodes)
+    assert (min_x, min_y) == (0, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=connected_configurations())
+def test_serialization_roundtrip(configuration: ParticleConfiguration):
+    assert configuration_from_json(configuration_to_json(configuration)) == configuration
+
+
+@settings(max_examples=40, deadline=None)
+@given(configuration=connected_configurations())
+def test_degree_consistency(configuration: ParticleConfiguration):
+    """Summing per-node degrees double-counts the induced edges."""
+    total_degree = sum(configuration.degree(node) for node in configuration.nodes)
+    assert total_degree == 2 * configuration.edge_count
+    for node in configuration.nodes:
+        assert configuration.degree(node) == len(configuration.occupied_neighbors(node))
+        assert configuration.degree(node) + len(configuration.empty_neighbors(node)) == 6

@@ -1,0 +1,183 @@
+"""Unit tests for the triangular lattice coordinate system."""
+
+import math
+
+import pytest
+
+from repro.errors import LatticeError
+from repro.lattice.triangular import (
+    DIRECTIONS,
+    NUM_DIRECTIONS,
+    add,
+    are_adjacent,
+    canonical_translation,
+    common_neighbors,
+    direction_between,
+    direction_index,
+    hex_distance,
+    neighbor,
+    neighborhood,
+    neighbors,
+    nodes_bounding_box,
+    opposite_direction,
+    rotate_ccw,
+    rotate_cw,
+    scale,
+    subtract,
+    to_cartesian,
+    translate,
+    triangle_faces_at,
+)
+
+
+class TestDirections:
+    def test_six_directions(self):
+        assert NUM_DIRECTIONS == 6
+        assert len(DIRECTIONS) == 6
+        assert len(set(DIRECTIONS)) == 6
+
+    def test_directions_sum_to_zero(self):
+        total = (sum(d[0] for d in DIRECTIONS), sum(d[1] for d in DIRECTIONS))
+        assert total == (0, 0)
+
+    def test_opposite_directions(self):
+        for index, direction in enumerate(DIRECTIONS):
+            opposite = DIRECTIONS[opposite_direction(index)]
+            assert add(direction, opposite) == (0, 0)
+
+    def test_direction_index_roundtrip(self):
+        for index, direction in enumerate(DIRECTIONS):
+            assert direction_index(direction) == index
+
+    def test_direction_index_rejects_non_directions(self):
+        with pytest.raises(LatticeError):
+            direction_index((2, 0))
+
+    def test_directions_are_unit_length_in_cartesian(self):
+        for direction in DIRECTIONS:
+            x, y = to_cartesian(direction)
+            assert math.isclose(math.hypot(x, y), 1.0, rel_tol=1e-12)
+
+    def test_directions_listed_counterclockwise(self):
+        angles = [math.atan2(*reversed(to_cartesian(d))) % (2 * math.pi) for d in DIRECTIONS]
+        assert angles == sorted(angles)
+
+
+class TestNeighbors:
+    def test_every_node_has_six_neighbors(self):
+        for node in [(0, 0), (3, -2), (-5, 7)]:
+            result = neighbors(node)
+            assert len(result) == 6
+            assert len(set(result)) == 6
+            assert all(are_adjacent(node, nb) for nb in result)
+
+    def test_neighbor_by_direction(self):
+        assert neighbor((2, 3), 0) == (3, 3)
+        assert neighbor((2, 3), 3) == (1, 3)
+        assert neighbor((2, 3), 7) == neighbor((2, 3), 1)
+
+    def test_adjacency_is_symmetric(self):
+        for node in neighbors((4, -1)):
+            assert are_adjacent(node, (4, -1))
+
+    def test_not_adjacent_to_itself_or_distant_nodes(self):
+        assert not are_adjacent((0, 0), (0, 0))
+        assert not are_adjacent((0, 0), (2, 0))
+        assert not are_adjacent((0, 0), (1, 1))
+
+    def test_neighborhood_radius_two(self):
+        ball = neighborhood((0, 0), radius=2)
+        assert len(ball) == 18  # 6 + 12
+        assert all(1 <= hex_distance((0, 0), node) <= 2 for node in ball)
+
+    def test_neighborhood_rejects_negative_radius(self):
+        with pytest.raises(LatticeError):
+            neighborhood((0, 0), radius=-1)
+
+
+class TestRotation:
+    def test_rotation_cycles_through_directions(self):
+        for index, direction in enumerate(DIRECTIONS):
+            assert rotate_ccw(direction) == DIRECTIONS[(index + 1) % 6]
+            assert rotate_cw(direction) == DIRECTIONS[(index - 1) % 6]
+
+    def test_six_rotations_are_identity(self):
+        vector = (3, -2)
+        assert rotate_ccw(vector, 6) == vector
+        assert rotate_cw(vector, 6) == vector
+
+    def test_rotation_preserves_length(self):
+        vector = (4, -1)
+        original = math.hypot(*to_cartesian(vector))
+        rotated = math.hypot(*to_cartesian(rotate_ccw(vector, 2)))
+        assert math.isclose(original, rotated, rel_tol=1e-12)
+
+
+class TestCommonNeighbors:
+    def test_adjacent_nodes_share_exactly_two_neighbors(self):
+        for direction in DIRECTIONS:
+            a = (0, 0)
+            b = direction
+            shared = common_neighbors(a, b)
+            assert len(shared) == 2
+            brute = set(neighbors(a)) & set(neighbors(b))
+            assert set(shared) == brute
+
+    def test_non_adjacent_nodes_raise(self):
+        with pytest.raises(LatticeError):
+            common_neighbors((0, 0), (2, 0))
+
+
+class TestDistanceAndEmbedding:
+    def test_hex_distance_matches_bfs_on_small_ball(self):
+        from collections import deque
+
+        source = (0, 0)
+        distances = {source: 0}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            if distances[current] >= 4:
+                continue
+            for nb in neighbors(current):
+                if nb not in distances:
+                    distances[nb] = distances[current] + 1
+                    queue.append(nb)
+        for node, distance in distances.items():
+            assert hex_distance(source, node) == distance
+
+    def test_cartesian_adjacent_distance_is_one(self):
+        for nb in neighbors((3, 5)):
+            ax, ay = to_cartesian((3, 5))
+            bx, by = to_cartesian(nb)
+            assert math.isclose(math.hypot(ax - bx, ay - by), 1.0, rel_tol=1e-12)
+
+    def test_arithmetic_helpers(self):
+        assert add((1, 2), (3, -1)) == (4, 1)
+        assert subtract((1, 2), (3, -1)) == (-2, 3)
+        assert scale((2, -1), 3) == (6, -3)
+        assert direction_between((5, 5), (5, 6)) == 1
+
+
+class TestBoundingBoxAndCanonical:
+    def test_bounding_box(self):
+        assert nodes_bounding_box([(1, 2), (-3, 4), (0, 0)]) == (-3, 0, 1, 4)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(LatticeError):
+            nodes_bounding_box([])
+
+    def test_canonical_translation_is_translation_invariant(self):
+        nodes = {(2, 3), (3, 3), (2, 4)}
+        shifted = translate(nodes, (-7, 11))
+        assert canonical_translation(nodes) == canonical_translation(shifted)
+
+    def test_canonical_translation_is_idempotent(self):
+        nodes = {(2, 3), (3, 3), (2, 4)}
+        once = canonical_translation(nodes)
+        assert canonical_translation(once) == once
+
+    def test_triangle_faces_anchored_once(self):
+        up, down = triangle_faces_at((0, 0))
+        assert set(up) == {(0, 0), (1, 0), (0, 1)}
+        assert set(down) == {(0, 0), (1, 0), (1, -1)}

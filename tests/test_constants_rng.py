@@ -1,0 +1,74 @@
+"""Tests for the paper constants and the RNG helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    COMPRESSION_THRESHOLD,
+    EXPANSION_THRESHOLD,
+    FIXED_POLYHEX_COUNTS,
+    FORBIDDEN_NEIGHBOR_COUNT,
+    HEXAGONAL_CONNECTIVE_CONSTANT,
+    MAX_NEIGHBORS,
+    N50,
+    pmax,
+    pmin_lower_bound,
+    pmin_upper_bound,
+)
+from repro.rng import make_rng, spawn_rngs
+
+
+class TestConstants:
+    def test_threshold_relationships(self):
+        assert HEXAGONAL_CONNECTIVE_CONSTANT ** 2 == pytest.approx(COMPRESSION_THRESHOLD)
+        assert math.isclose(EXPANSION_THRESHOLD, (2 * N50) ** 0.01, rel_tol=1e-12)
+        assert MAX_NEIGHBORS == 6
+        assert FORBIDDEN_NEIGHBOR_COUNT == 5
+
+    def test_n50_magnitude(self):
+        assert len(str(N50)) == 34  # the 34-digit constant of Lemma 5.5
+
+    def test_polyhex_series_is_increasing(self):
+        assert all(a < b for a, b in zip(FIXED_POLYHEX_COUNTS, FIXED_POLYHEX_COUNTS[1:]))
+
+    def test_perimeter_bound_helpers(self):
+        assert pmax(1) == 0
+        assert pmax(10) == 18
+        assert pmin_lower_bound(1) == 0.0
+        assert pmin_lower_bound(16) == 4.0
+        assert pmin_upper_bound(16) == 16.0
+        with pytest.raises(ValueError):
+            pmax(0)
+        with pytest.raises(ValueError):
+            pmin_lower_bound(0)
+        with pytest.raises(ValueError):
+            pmin_upper_bound(-3)
+
+
+class TestRng:
+    def test_make_rng_accepts_all_seed_forms(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+        assert isinstance(make_rng(7), np.random.Generator)
+        generator = np.random.default_rng(1)
+        assert make_rng(generator) is generator
+
+    def test_integer_seeds_are_reproducible(self):
+        assert make_rng(5).integers(0, 1000, 10).tolist() == make_rng(5).integers(0, 1000, 10).tolist()
+
+    def test_spawned_streams_are_distinct_but_reproducible(self):
+        first = spawn_rngs(3, 4)
+        second = spawn_rngs(3, 4)
+        draws_first = [rng.integers(0, 10**9) for rng in first]
+        draws_second = [rng.integers(0, 10**9) for rng in second]
+        assert draws_first == draws_second
+        assert len(set(draws_first)) == 4
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 3)
+        assert len(children) == 3
+
+    def test_spawn_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
