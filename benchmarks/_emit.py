@@ -1,0 +1,59 @@
+"""Machine-readable benchmark output.
+
+Benchmarks call :func:`record` with a name and numeric fields; results are
+merged into ``benchmarks/BENCH_chain.json`` keyed by name, so re-running a
+single benchmark updates only its own entry.  The file is the repo's
+performance ledger: each PR that touches a hot path re-runs the relevant
+benchmarks and commits the updated numbers, giving the project a tracked
+perf trajectory instead of folklore.
+
+The format is deliberately trivial — one JSON object, one entry per
+benchmark, plus a ``_meta`` block — so any later tooling (plots,
+regression gates) can consume it without a schema migration.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+RESULTS_PATH = Path(__file__).parent / "BENCH_chain.json"
+
+
+def _load() -> Dict[str, Any]:
+    if RESULTS_PATH.exists():
+        try:
+            with RESULTS_PATH.open() as fh:
+                data = json.load(fh)
+            if isinstance(data, dict):
+                return data
+        except (OSError, ValueError):
+            pass
+    return {}
+
+
+def record(name: str, **fields: Any) -> Dict[str, Any]:
+    """Merge one benchmark result into ``BENCH_chain.json`` and return it.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier of the benchmark (the JSON key).
+    fields:
+        Numeric results and their parameters, e.g.
+        ``record("fast_chain_n1000", engine="fast", n=1000,
+        iterations_per_second=2.4e6)``.
+    """
+    data = _load()
+    data["_meta"] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+    data[name] = dict(fields)
+    with RESULTS_PATH.open("w") as fh:
+        json.dump(data, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return data[name]

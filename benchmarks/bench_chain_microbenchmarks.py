@@ -2,26 +2,111 @@
 
 These are throughput numbers (iterations per second) rather than paper
 artifacts; they make regressions in the move-legality checks visible.
+Results are mirrored into ``BENCH_chain.json`` via :mod:`_emit` so the
+repo's perf trajectory is machine-readable.
+
+The headline comparison is reference vs. fast engine at ``n = 1000``:
+the fast engine must hold at least a 10x advantage
+(``test_fast_engine_speedup_at_n1000``), while the differential harness
+(``tests/core/test_fast_chain_equivalence.py``) guarantees the two
+engines produce identical seeded trajectories — speed, not semantics.
 """
 
 from __future__ import annotations
 
+import time
+
+import pytest
+
+import _emit
 from repro.amoebot.system import AmoebotSystem
+from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.core.moves import enumerate_valid_moves
 from repro.lattice.shapes import line, random_connected, spiral
+
+
+def _iterations_per_second(benchmark, iterations: int) -> float:
+    return iterations / benchmark.stats.stats.mean
 
 
 def test_chain_step_throughput(benchmark):
     chain = CompressionMarkovChain(line(100), lam=4.0, seed=0)
     benchmark(chain.run, 2000)
     benchmark.extra_info["experiment"] = "chain inner loop"
+    _emit.record(
+        "reference_chain_n100",
+        engine="reference",
+        n=100,
+        iterations_per_second=_iterations_per_second(benchmark, 2000),
+    )
+
+
+@pytest.mark.parametrize("n", [1000, 2000, 5000])
+def test_fast_chain_step_throughput(benchmark, n):
+    chain = FastCompressionChain(line(n), lam=4.0, seed=0)
+    iterations = 50_000
+    benchmark(chain.run, iterations)
+    benchmark.extra_info["experiment"] = f"fast engine inner loop (n={n})"
+    rate = _iterations_per_second(benchmark, iterations)
+    benchmark.extra_info["iterations_per_second"] = rate
+    _emit.record(
+        f"fast_chain_n{n}",
+        engine="fast",
+        n=n,
+        iterations_per_second=rate,
+    )
+
+
+def test_reference_chain_step_throughput_n1000(benchmark):
+    chain = CompressionMarkovChain(line(1000), lam=4.0, seed=0)
+    iterations = 5000
+    benchmark(chain.run, iterations)
+    benchmark.extra_info["experiment"] = "reference engine inner loop (n=1000)"
+    rate = _iterations_per_second(benchmark, iterations)
+    benchmark.extra_info["iterations_per_second"] = rate
+    _emit.record(
+        "reference_chain_n1000",
+        engine="reference",
+        n=1000,
+        iterations_per_second=rate,
+    )
+
+
+def test_fast_engine_speedup_at_n1000():
+    """Acceptance gate: the fast engine is >= 10x the reference at n=1000."""
+
+    def measure(chain, iterations):
+        chain.run(2000)  # warm up caches and the draw tape
+        start = time.perf_counter()
+        chain.run(iterations)
+        return iterations / (time.perf_counter() - start)
+
+    reference_rate = measure(CompressionMarkovChain(line(1000), lam=4.0, seed=0), 20_000)
+    fast_rate = measure(FastCompressionChain(line(1000), lam=4.0, seed=0), 200_000)
+    speedup = fast_rate / reference_rate
+    _emit.record(
+        "engine_speedup_n1000",
+        n=1000,
+        reference_iterations_per_second=reference_rate,
+        fast_iterations_per_second=fast_rate,
+        speedup=speedup,
+    )
+    assert speedup >= 10.0, (
+        f"fast engine is only {speedup:.1f}x the reference at n=1000 "
+        f"({fast_rate:.0f} vs {reference_rate:.0f} iterations/sec)"
+    )
 
 
 def test_amoebot_activation_throughput(benchmark):
     system = AmoebotSystem(line(100), lam=4.0, seed=0)
     benchmark(system.run, 2000)
     benchmark.extra_info["experiment"] = "Algorithm A activations"
+    _emit.record(
+        "amoebot_activations_n100",
+        n=100,
+        activations_per_second=_iterations_per_second(benchmark, 2000),
+    )
 
 
 def test_perimeter_computation(benchmark):

@@ -38,6 +38,7 @@ from repro.constants import (
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.shapes import hexagon, line, random_connected, ring, spiral, staircase
 from repro.core.compression import CompressionSimulation, CompressionTrace
+from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.amoebot.system import AmoebotSystem
 from repro.algorithms.expansion import ExpansionSimulation
@@ -59,6 +60,7 @@ __all__ = [
     "CompressionSimulation",
     "CompressionTrace",
     "CompressionMarkovChain",
+    "FastCompressionChain",
     "AmoebotSystem",
     "ExpansionSimulation",
     "__version__",

@@ -33,22 +33,28 @@ class ExpansionSimulation(CompressionSimulation):
         lam: float,
         seed: RandomState = None,
         strict: bool = True,
+        engine: str = "reference",
     ) -> None:
         if strict and lam >= EXPANSION_THRESHOLD:
             raise ConfigurationError(
                 f"lambda={lam} is not in the proven expansion regime "
                 f"(lambda < {EXPANSION_THRESHOLD:.3f}); pass strict=False to override"
             )
-        super().__init__(initial, lam=lam, seed=seed)
+        super().__init__(initial, lam=lam, seed=seed, engine=engine)
 
     @classmethod
     def from_line(
-        cls, n: int, lam: float, seed: RandomState = None, strict: bool = True
+        cls,
+        n: int,
+        lam: float,
+        seed: RandomState = None,
+        strict: bool = True,
+        engine: str = "reference",
     ) -> "ExpansionSimulation":
         """``n`` particles starting in a line, as in Figure 10 (``lambda = 2``)."""
         from repro.lattice.shapes import line
 
-        return cls(line(n), lam=lam, seed=seed, strict=strict)
+        return cls(line(n), lam=lam, seed=seed, strict=strict, engine=engine)
 
     def run_until_expanded(
         self,

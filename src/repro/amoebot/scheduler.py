@@ -11,6 +11,12 @@ essential, which the ``rates`` parameter lets experiments verify.
 The scheduler is a simple event queue.  It also tracks *asynchronous
 rounds*: a round completes once every non-crashed particle has been
 activated at least once since the previous round boundary (Section 2.1).
+
+Like the chain engines (see :class:`repro.rng.BatchedMoveDraws`), the
+scheduler draws its randomness in pre-generated batches: standard
+exponentials are produced ``draw_block`` at a time and scaled by the
+activated particle's rate on consumption, which removes a per-activation
+generator call from the distributed simulator's hot path.
 """
 
 from __future__ import annotations
@@ -57,6 +63,8 @@ class PoissonScheduler:
         per unit time).  Defaults to rate 1 for every particle.
     seed:
         Seed or generator for reproducibility.
+    draw_block:
+        Number of standard-exponential delays pre-generated per batch.
     """
 
     def __init__(
@@ -64,10 +72,16 @@ class PoissonScheduler:
         particle_ids: Sequence[int],
         rates: Optional[Dict[int, float]] = None,
         seed: RandomState = None,
+        draw_block: int = 256,
     ) -> None:
         if not particle_ids:
             raise SchedulerError("cannot schedule an empty particle system")
+        if draw_block <= 0:
+            raise SchedulerError(f"draw_block must be positive, got {draw_block}")
         self._rng = make_rng(seed)
+        self._draw_block = draw_block
+        self._exponentials: List[float] = []
+        self._exponential_cursor = 0
         self._rates: Dict[int, float] = {}
         for particle_id in particle_ids:
             rate = 1.0 if rates is None else float(rates.get(particle_id, 1.0))
@@ -141,7 +155,12 @@ class PoissonScheduler:
     # Internals
     # ------------------------------------------------------------------ #
     def _schedule(self, particle_id: int, start_time: float) -> None:
-        delay = float(self._rng.exponential(1.0 / self._rates[particle_id]))
+        cursor = self._exponential_cursor
+        if cursor >= len(self._exponentials):
+            self._exponentials = self._rng.standard_exponential(self._draw_block).tolist()
+            cursor = 0
+        self._exponential_cursor = cursor + 1
+        delay = self._exponentials[cursor] / self._rates[particle_id]
         heapq.heappush(self._queue, (start_time + delay, next(self._counter), particle_id))
 
     def _maybe_close_round(self) -> None:

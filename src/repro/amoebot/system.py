@@ -34,6 +34,7 @@ from repro.amoebot.local_algorithm import (
 )
 from repro.amoebot.particle import Particle
 from repro.amoebot.scheduler import PoissonScheduler
+from repro.core.fast_chain import OccupancyGrid
 from repro.errors import ConfigurationError, SchedulerError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.geometry import max_perimeter, min_perimeter
@@ -88,6 +89,12 @@ class AmoebotSystem:
             particle = Particle(identifier=identifier, tail=node)
             self.particles[identifier] = particle
             self._occupancy[node] = (identifier, "tail")
+        # Dense occupancy mirror shared with the fast chain engine: the
+        # authority for "is this node occupied?" (expansion conflicts) and
+        # a numpy int8 view of the whole system state (``self.grid.array``).
+        # The role map ``_occupancy`` stays authoritative for head/tail info;
+        # ``_apply`` updates both in lockstep.
+        self.grid = OccupancyGrid(sorted(initial.nodes))
         self.scheduler = PoissonScheduler(
             sorted(self.particles), rates=rates, seed=self._rng
         )
@@ -230,7 +237,7 @@ class AmoebotSystem:
                 self.stats.idle_activations += 1
             return
         if isinstance(action, Expand):
-            if action.target in self._occupancy:
+            if self.grid.is_occupied(action.target):
                 # Another particle occupies the target (conflict resolution:
                 # the expansion simply does not happen).
                 self.stats.idle_activations += 1
@@ -238,24 +245,29 @@ class AmoebotSystem:
             particle.expand(action.target)
             self._occupancy[action.target] = (particle.identifier, "head")
             self._occupancy[particle.tail] = (particle.identifier, "tail")
+            self.grid.add(action.target)
             particle.flag = self.algorithm.flag_after_expansion(self._view(particle))
             self.stats.expansions += 1
             return
         if isinstance(action, ContractForward):
             if particle.head is None:
                 raise SchedulerError("cannot contract a contracted particle")
-            del self._occupancy[particle.tail]
+            vacated = particle.tail
+            del self._occupancy[vacated]
             particle.contract_forward()
             self._occupancy[particle.tail] = (particle.identifier, "tail")
+            self.grid.remove(vacated)
             particle.flag = False
             self.stats.completed_moves += 1
             return
         if isinstance(action, ContractBack):
             if particle.head is None:
                 raise SchedulerError("cannot contract a contracted particle")
-            del self._occupancy[particle.head]
+            vacated = particle.head
+            del self._occupancy[vacated]
             particle.contract_back()
             self._occupancy[particle.tail] = (particle.identifier, "tail")
+            self.grid.remove(vacated)
             particle.flag = False
             self.stats.aborted_moves += 1
             return

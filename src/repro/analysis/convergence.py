@@ -27,12 +27,13 @@ def measure_compression_time(
     max_iterations: int,
     seed: RandomState = None,
     check_every: int = 2000,
+    engine: str = "reference",
 ) -> Optional[int]:
     """Iterations until a line of ``n`` particles first becomes alpha-compressed.
 
     Returns ``None`` when the iteration budget is exhausted first.
     """
-    simulation = CompressionSimulation.from_line(n, lam=lam, seed=seed)
+    simulation = CompressionSimulation.from_line(n, lam=lam, seed=seed, engine=engine)
     return simulation.run_until_compressed(
         alpha=alpha, max_iterations=max_iterations, check_every=check_every
     )
@@ -85,6 +86,7 @@ def scaling_study(
     repetitions: int = 2,
     budget_factor: float = 50.0,
     seed: RandomState = None,
+    engine: str = "reference",
 ) -> ScalingResult:
     """Measure compression times across sizes and fit the scaling exponent.
 
@@ -99,6 +101,9 @@ def scaling_study(
     budget_factor:
         Iteration budget per run is ``budget_factor * n^3`` — generous for
         the conjectured ``Theta(n^3)``-to-``O(n^4)`` scaling at small sizes.
+    engine:
+        Which Algorithm M engine to run (``"reference"`` or ``"fast"``);
+        use ``"fast"`` for sizes beyond a few dozen particles.
     """
     if repetitions < 1:
         raise AnalysisError("repetitions must be at least 1")
@@ -111,7 +116,7 @@ def scaling_study(
         for _ in range(repetitions):
             runs.append(
                 measure_compression_time(
-                    n, lam=lam, alpha=alpha, max_iterations=budget, seed=rng
+                    n, lam=lam, alpha=alpha, max_iterations=budget, seed=rng, engine=engine
                 )
             )
         per_size.append(runs)

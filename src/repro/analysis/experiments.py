@@ -52,6 +52,7 @@ def run_fig2_compression(
     iterations: int = 200_000,
     snapshots: int = 5,
     seed: RandomState = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Experiment E1 (Figure 2): compression of a line of particles at ``lambda = 4``.
 
@@ -62,7 +63,7 @@ def run_fig2_compression(
     """
     if snapshots < 1:
         raise AnalysisError("snapshots must be at least 1")
-    simulation = CompressionSimulation.from_line(n, lam=lam, seed=seed)
+    simulation = CompressionSimulation.from_line(n, lam=lam, seed=seed, engine=engine)
     block = iterations // snapshots
     perimeters = [simulation.chain.perimeter()]
     alphas = [simulation.compression_ratio()]
@@ -93,9 +94,10 @@ def run_fig10_expansion(
     lam: float = 2.0,
     iterations: int = 200_000,
     seed: RandomState = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Experiment E2 (Figure 10): the same system at ``lambda = 2`` does not compress."""
-    simulation = ExpansionSimulation.from_line(n, lam=lam, seed=seed)
+    simulation = ExpansionSimulation.from_line(n, lam=lam, seed=seed, engine=engine)
     simulation.run(iterations, record_every=max(1, iterations // 20))
     final = simulation.trace.final()
     return ExperimentRecord(
@@ -121,6 +123,7 @@ def run_lambda_sweep(
     lambdas: Sequence[float] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0),
     iterations: int = 150_000,
     seed: RandomState = 0,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Experiment E14: final perimeter ratio as a function of the bias ``lambda``.
 
@@ -133,7 +136,7 @@ def run_lambda_sweep(
     rows: List[Dict[str, float]] = []
     rng = make_rng(seed)
     for lam in lambdas:
-        simulation = CompressionSimulation.from_line(n, lam=lam, seed=rng)
+        simulation = CompressionSimulation.from_line(n, lam=lam, seed=rng, engine=engine)
         simulation.run(iterations, record_every=iterations)
         final = simulation.trace.final()
         rows.append(

@@ -4,6 +4,35 @@ This subpackage implements Algorithm M (the centralized Markov chain for
 compression, Section 3.1), the move-legality Properties 1 and 2, the
 Metropolis filter machinery, the high-level simulation API, and exact
 stationary-distribution analysis for small systems.
+
+Reference engine vs. fast engine
+--------------------------------
+Algorithm M ships as two interchangeable engines:
+
+* :class:`~repro.core.markov_chain.CompressionMarkovChain` — the
+  **reference engine**.  Hash-map state, move legality evaluated by the
+  literal Property 1/2 implementations from the paper, every reported
+  quantity recomputable from a plain
+  :class:`~repro.lattice.configuration.ParticleConfiguration`.  Use it
+  when auditing dynamics, building exact state-space analyses, or writing
+  tests whose failure you want to be able to read.
+* :class:`~repro.core.fast_chain.FastCompressionChain` — the **fast
+  engine**.  Dense occupancy grid, 256-entry move-legality tables
+  generated *from* the reference implementation, batched randomness, and
+  incrementally maintained ``e(sigma)``/``p(sigma)``.  Use it for scaling
+  sweeps and any run where throughput matters (it is well over an order
+  of magnitude faster at ``n = 1000``).
+
+**Equivalence guarantee:** both engines consume randomness through the
+shared :class:`repro.rng.BatchedMoveDraws` protocol, so for equal seeds
+and draw-block sizes they produce bit-identical trajectories — identical
+move sequences, rejection reasons, edge counts and perimeters.  The
+differential harness (``tests/core/test_fast_chain_equivalence.py``), the
+randomized invariant suite (``tests/core/test_chain_invariants.py``) and
+a committed golden trace pin this contract down; optimizations that
+change either engine's behaviour fail those tests rather than silently
+diverging.  :class:`~repro.core.compression.CompressionSimulation`
+selects an engine via its ``engine="reference" | "fast"`` parameter.
 """
 
 from repro.core.properties import (
@@ -30,7 +59,8 @@ from repro.core.energy import (
 )
 from repro.core.metropolis import MetropolisFilter, acceptance_probability
 from repro.core.markov_chain import CompressionMarkovChain, StepResult
-from repro.core.compression import CompressionSimulation, CompressionTrace, TracePoint
+from repro.core.fast_chain import FastCompressionChain, OccupancyGrid
+from repro.core.compression import ENGINES, CompressionSimulation, CompressionTrace, TracePoint
 from repro.core.stationary import (
     StateSpace,
     build_state_space,
@@ -62,6 +92,9 @@ __all__ = [
     "acceptance_probability",
     "CompressionMarkovChain",
     "StepResult",
+    "FastCompressionChain",
+    "OccupancyGrid",
+    "ENGINES",
     "CompressionSimulation",
     "CompressionTrace",
     "TracePoint",

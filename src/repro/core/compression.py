@@ -1,23 +1,39 @@
 """High-level compression simulation API.
 
-:class:`CompressionSimulation` wraps :class:`~repro.core.markov_chain.CompressionMarkovChain`
-with the bookkeeping needed by the paper's experiments: periodic recording
-of perimeter/edge metrics (the data behind Figures 2 and 10), detection of
+:class:`CompressionSimulation` wraps an Algorithm M engine with the
+bookkeeping needed by the paper's experiments: periodic recording of
+perimeter/edge metrics (the data behind Figures 2 and 10), detection of
 alpha-compression and beta-expansion, and convenience constructors for the
 standard starting configurations.
+
+Two interchangeable engines are available through the ``engine``
+parameter: ``"reference"`` — the transparent
+:class:`~repro.core.markov_chain.CompressionMarkovChain` — and ``"fast"``
+— the grid-based :class:`~repro.core.fast_chain.FastCompressionChain`,
+roughly an order of magnitude (or more) faster and bit-identical in
+trajectory for equal seeds.  Trace metrics are pulled from the engine's
+incrementally maintained counters, so recording a trace point no longer
+rebuilds the configuration from scratch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.geometry import max_perimeter, min_perimeter
 from repro.lattice.shapes import line as line_shape
+from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.rng import RandomState
+
+#: The Algorithm M engines selectable via ``CompressionSimulation(engine=...)``.
+ENGINES: Dict[str, type] = {
+    "reference": CompressionMarkovChain,
+    "fast": FastCompressionChain,
+}
 
 
 @dataclass(frozen=True)
@@ -87,6 +103,10 @@ class CompressionSimulation:
         Bias parameter ``lambda``.
     seed:
         Seed or generator for reproducibility.
+    engine:
+        ``"reference"`` (default) for the transparent engine, ``"fast"``
+        for the grid-based production engine.  Both produce the same
+        trajectory for the same seed; see :mod:`repro.core.fast_chain`.
     """
 
     def __init__(
@@ -94,8 +114,16 @@ class CompressionSimulation:
         initial: ParticleConfiguration,
         lam: float,
         seed: RandomState = None,
+        engine: str = "reference",
     ) -> None:
-        self.chain = CompressionMarkovChain(initial, lam=lam, seed=seed)
+        try:
+            engine_factory = ENGINES[engine]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {sorted(ENGINES)}"
+            ) from None
+        self.engine = engine
+        self.chain = engine_factory(initial, lam=lam, seed=seed)
         self.lam = float(lam)
         self.n = initial.n
         self._pmin = min_perimeter(self.n)
@@ -108,10 +136,10 @@ class CompressionSimulation:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_line(
-        cls, n: int, lam: float, seed: RandomState = None
+        cls, n: int, lam: float, seed: RandomState = None, engine: str = "reference"
     ) -> "CompressionSimulation":
         """The paper's standard experiment: ``n`` particles starting in a line."""
-        return cls(line_shape(n), lam=lam, seed=seed)
+        return cls(line_shape(n), lam=lam, seed=seed, engine=engine)
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -222,13 +250,16 @@ class CompressionSimulation:
     # Internals
     # ------------------------------------------------------------------ #
     def _record(self) -> None:
-        configuration = self.chain.configuration
-        perimeter = configuration.perimeter
+        # Metrics come from the engine's incrementally maintained counters
+        # (plus its internal caching for the hole count), not from a fresh
+        # ParticleConfiguration rebuild per sample.
+        chain = self.chain
+        perimeter = chain.perimeter()
         point = TracePoint(
-            iteration=self.chain.iterations,
+            iteration=chain.iterations,
             perimeter=perimeter,
-            edges=configuration.edge_count,
-            holes=len(configuration.holes),
+            edges=chain.edge_count,
+            holes=chain.hole_count(),
             alpha=perimeter / self._pmin if self._pmin else 1.0,
             beta=perimeter / self._pmax if self._pmax else 0.0,
         )

@@ -1,0 +1,545 @@
+"""The fast production engine for Algorithm M.
+
+:class:`FastCompressionChain` implements exactly the dynamics of
+:class:`~repro.core.markov_chain.CompressionMarkovChain` (the reference
+engine) but is built for long runs at large ``n``:
+
+* **Dense occupancy grid.**  Particle positions live in a flat row-major
+  occupancy grid (:class:`OccupancyGrid`) instead of a hash map, so
+  occupancy tests and neighbor reads are integer offset arithmetic.  The
+  grid re-centers itself with a fresh margin whenever the configuration
+  drifts toward the edge of the allocated window.
+* **Precomputed move tables.**  Properties 1 and 2, the five-neighbor rule
+  and the edge delta ``e' - e`` of a proposed move depend only on the
+  occupancy pattern of the eight-node ring around the move edge
+  (:func:`repro.core.properties.joint_neighborhood`).  The engine packs
+  that pattern into an 8-bit mask and resolves the whole legality check
+  with three 256-entry table lookups.  The tables are *generated from the
+  reference implementation* at first use, so the two engines agree by
+  construction — there is no second, hand-derived copy of the paper's
+  Properties 1 and 2 to keep in sync.
+* **Batched randomness.**  Randomness is consumed through the shared
+  :class:`repro.rng.BatchedMoveDraws` tape (one ``(index, direction,
+  uniform)`` triple per iteration, pre-generated in blocks).  Given the
+  same seed and block size, the fast and reference engines therefore see
+  bit-identical draws and produce bit-identical trajectories — the
+  property enforced by ``tests/core/test_fast_chain_equivalence.py``.
+* **Incremental scalar metrics.**  The induced edge count ``e(sigma)`` is
+  maintained by adding the accepted move's edge delta.  For hole-free
+  configurations the perimeter follows from the Euler-formula identity
+  ``p(sigma) = 3n - 3 - e(sigma)`` (Lemma 2.3 territory; for a
+  configuration with ``h`` holes the identity generalizes to
+  ``p = 3n - 3 - e + 3h``), and since the chain never creates holes in a
+  hole-free configuration (Lemma 3.2), both ``e`` and ``p`` are O(1) per
+  accepted move once the start is hole-free.  Starts that do contain
+  holes fall back to exact recomputation — cached between accepted moves
+  — until the holes have been eliminated, after which the O(1) path locks
+  in permanently.
+
+Use the reference engine when auditing dynamics or stepping through
+individual proposals; use this engine for scaling sweeps, mixing-time
+estimation and any workload where throughput matters.  The differential
+harness is the contract that keeps the two interchangeable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
+from repro.errors import ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.triangular import DIRECTIONS, Node, neighbors, nodes_bounding_box
+from repro.core.markov_chain import REJECTION_REASONS, StepResult
+from repro.core.moves import Move
+from repro.core.properties import joint_neighborhood, satisfies_either_property
+from repro.rng import DEFAULT_DRAW_BLOCK, BatchedMoveDraws, RandomState, make_rng
+
+#: Ring offsets per direction: ``RING_OFFSETS[d]`` is the eight-node joint
+#: neighborhood of the edge from the origin to ``DIRECTIONS[d]``, in the
+#: canonical order of :func:`repro.core.properties.joint_neighborhood`.
+RING_OFFSETS: Tuple[Tuple[Node, ...], ...] = tuple(
+    joint_neighborhood((0, 0), delta) for delta in DIRECTIONS
+)
+
+#: Free border (in cells) left around the occupied bounding box whenever an
+#: :class:`OccupancyGrid` is (re)allocated.
+DEFAULT_GRID_MARGIN = 32
+
+#: Width of the guard band along the grid border.  An accepted move landing
+#: inside the band triggers a reallocation, which keeps every occupied cell
+#: far enough from the border that all offset reads stay in bounds.
+GUARD_BAND = 4
+
+_MOVE_TABLES: Optional[Tuple[List[int], List[int], List[bool]]] = None
+
+
+def move_tables() -> Tuple[List[int], List[int], List[bool]]:
+    """Return the three 256-entry move-resolution tables, building them once.
+
+    For every 8-bit occupancy mask of the ring around a move edge the
+    tables give, in order: the particle's neighbor count at the source
+    (``e`` in Algorithm M's Condition (3)), its neighbor count at the
+    target (``e'``), and whether the pair satisfies Property 1 or
+    Property 2.  The property entries are computed by running the
+    *reference* property implementation on an explicit node set, which is
+    what guarantees fast/reference equivalence.
+
+    Both properties and the neighbor counts are invariant under lattice
+    rotation, so one table built for the East direction serves all six
+    (asserted for every direction by the equivalence test suite).
+    """
+    global _MOVE_TABLES
+    if _MOVE_TABLES is None:
+        ring = RING_OFFSETS[0]
+        source: Node = (0, 0)
+        target: Node = DIRECTIONS[0]
+        source_bits = [k for k, node in enumerate(ring) if node in neighbors(source)]
+        target_bits = [k for k, node in enumerate(ring) if node in neighbors(target)]
+        neighbors_before: List[int] = []
+        neighbors_after: List[int] = []
+        property_ok: List[bool] = []
+        for mask in range(256):
+            neighbors_before.append(sum(mask >> k & 1 for k in source_bits))
+            neighbors_after.append(sum(mask >> k & 1 for k in target_bits))
+            occupied = {source}
+            occupied.update(ring[k] for k in range(8) if mask >> k & 1)
+            property_ok.append(satisfies_either_property(occupied, source, target))
+        _MOVE_TABLES = (neighbors_before, neighbors_after, property_ok)
+    return _MOVE_TABLES
+
+
+class OccupancyGrid:
+    """A dense occupancy grid over a window of the triangular lattice.
+
+    The window covers the bounding box of the supplied nodes plus
+    ``margin`` free cells on every side.  Cell states are stored in a flat
+    row-major ``bytearray`` (the fastest scalar-indexable container in
+    CPython); :attr:`array` exposes the same memory zero-copy as a numpy
+    ``int8`` matrix for vectorized consumers.
+
+    Axial node ``(x, y)`` maps to flat index
+    ``(y - origin_y) * width + (x - origin_x)``, so stepping in lattice
+    direction ``d`` is adding the precomputed scalar
+    ``direction_offsets[d]``, and reading the eight-node ring around a
+    move edge is eight reads at ``ring_offsets[d]`` from the source cell.
+
+    The outermost :data:`GUARD_BAND` cells form a guard band
+    (:attr:`guard_band`).  Writers must reallocate (see
+    :meth:`recenter`/:meth:`add`) when an occupied cell enters the band;
+    in exchange, every offset read from a cell outside the band is
+    guaranteed in bounds without per-read checks.
+    """
+
+    __slots__ = (
+        "width",
+        "height",
+        "origin_x",
+        "origin_y",
+        "cells",
+        "array",
+        "guard_band",
+        "direction_offsets",
+        "ring_offsets",
+    )
+
+    def __init__(self, nodes: Iterable[Node], margin: int = DEFAULT_GRID_MARGIN) -> None:
+        node_list = list(nodes)
+        if not node_list:
+            raise ConfigurationError("an occupancy grid needs at least one occupied node")
+        if margin <= GUARD_BAND:
+            raise ConfigurationError(
+                f"margin must exceed the guard band ({GUARD_BAND}), got {margin}"
+            )
+        min_x, min_y, max_x, max_y = nodes_bounding_box(node_list)
+        self.origin_x = min_x - margin
+        self.origin_y = min_y - margin
+        width = (max_x - min_x + 1) + 2 * margin
+        height = (max_y - min_y + 1) + 2 * margin
+        self.width = width
+        self.height = height
+        self.cells = bytearray(width * height)
+        self.array = np.frombuffer(self.cells, dtype=np.int8).reshape(height, width)
+        for node in node_list:
+            self.cells[self.flat_index(node)] = 1
+        guard = bytearray(width * height)
+        for y in range(height):
+            row = y * width
+            if y < GUARD_BAND or y >= height - GUARD_BAND:
+                guard[row : row + width] = b"\x01" * width
+            else:
+                for x in range(GUARD_BAND):
+                    guard[row + x] = 1
+                for x in range(width - GUARD_BAND, width):
+                    guard[row + x] = 1
+        self.guard_band = guard
+        self.direction_offsets = tuple(dy * width + dx for dx, dy in DIRECTIONS)
+        self.ring_offsets = tuple(
+            tuple(dy * width + dx for dx, dy in ring) for ring in RING_OFFSETS
+        )
+
+    # ------------------------------------------------------------------ #
+    # Coordinate mapping
+    # ------------------------------------------------------------------ #
+    def flat_index(self, node: Node) -> int:
+        """Return the flat cell index of axial node ``(x, y)``."""
+        return (node[1] - self.origin_y) * self.width + (node[0] - self.origin_x)
+
+    def node_at(self, flat: int) -> Node:
+        """Return the axial node of a flat cell index."""
+        y, x = divmod(flat, self.width)
+        return (x + self.origin_x, y + self.origin_y)
+
+    def contains(self, node: Node) -> bool:
+        """Whether ``node`` lies inside the allocated window."""
+        x = node[0] - self.origin_x
+        y = node[1] - self.origin_y
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    # ------------------------------------------------------------------ #
+    # Occupancy
+    # ------------------------------------------------------------------ #
+    def is_occupied(self, node: Node) -> bool:
+        """Whether ``node`` is occupied (nodes outside the window are empty)."""
+        x = node[0] - self.origin_x
+        y = node[1] - self.origin_y
+        if 0 <= x < self.width and 0 <= y < self.height:
+            return bool(self.cells[y * self.width + x])
+        return False
+
+    def occupied_nodes(self) -> List[Node]:
+        """Decode and return all occupied nodes (vectorized scan)."""
+        flats = np.flatnonzero(self.array.reshape(-1))
+        width = self.width
+        ox, oy = self.origin_x, self.origin_y
+        return [(int(f % width) + ox, int(f // width) + oy) for f in flats]
+
+    def occupied_count(self) -> int:
+        """Number of occupied cells."""
+        return int(np.count_nonzero(self.array))
+
+    def add(self, node: Node) -> None:
+        """Mark ``node`` occupied, re-centering first if it touches the guard band.
+
+        This is the convenience entry point for incremental consumers like
+        the amoebot simulator; the chain engine drives reallocation itself
+        to keep its hot loop free of per-move checks.
+        """
+        if not self.contains(node) or self.guard_band[self.flat_index(node)]:
+            self.recenter(extra=[node])
+        self.cells[self.flat_index(node)] = 1
+
+    def remove(self, node: Node) -> None:
+        """Mark ``node`` unoccupied (a no-op for nodes outside the window)."""
+        if self.contains(node):
+            self.cells[self.flat_index(node)] = 0
+
+    def recenter(self, extra: Sequence[Node] = (), margin: int = DEFAULT_GRID_MARGIN) -> None:
+        """Reallocate the window around the current occupancy plus ``extra`` nodes.
+
+        All derived state (offsets, guard band, numpy view) is rebuilt;
+        holders of raw references to :attr:`cells` et al. must re-read
+        them afterwards.
+        """
+        occupied = self.occupied_nodes()
+        fresh = OccupancyGrid(occupied + list(extra), margin=margin)
+        occupied_set = set(occupied)
+        for node in extra:
+            if node not in occupied_set:
+                fresh.cells[fresh.flat_index(node)] = 0
+        for name in self.__slots__:
+            setattr(self, name, getattr(fresh, name))
+
+
+class FastCompressionChain:
+    """Algorithm M on a dense grid with table-driven moves and batched draws.
+
+    Drop-in compatible with the reference
+    :class:`~repro.core.markov_chain.CompressionMarkovChain`: same
+    constructor signature, same counters, same
+    :class:`~repro.core.markov_chain.StepResult` per proposal, and — given
+    equal seeds and draw blocks — the same trajectory, bit for bit.
+
+    Parameters
+    ----------
+    initial:
+        The starting configuration ``sigma_0``; must be connected.
+    lam:
+        The bias parameter ``lambda > 0``.
+    seed:
+        Seed or generator for reproducible runs.
+    draw_block:
+        Block size of the batched draw tape (must match the engine being
+        compared against in differential tests).
+    """
+
+    def __init__(
+        self,
+        initial: ParticleConfiguration,
+        lam: float,
+        seed: RandomState = None,
+        draw_block: int = DEFAULT_DRAW_BLOCK,
+    ) -> None:
+        if lam <= 0:
+            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        if not initial.is_connected:
+            raise ConfigurationError("the initial configuration must be connected")
+        self.lam = float(lam)
+        self._rng = make_rng(seed)
+        ordered = sorted(initial.nodes)  # index order matches the reference engine
+        self._n = len(ordered)
+        self._draws = BatchedMoveDraws(self._rng, self._n, draw_block)
+        self._grid = OccupancyGrid(ordered)
+        self._pos: List[int] = [self._grid.flat_index(node) for node in ordered]
+        self._edge_count = initial.edge_count
+        self._hole_free = initial.is_hole_free
+        self._iterations = 0
+        self._accepted = 0
+        self._rejections: Dict[str, int] = {reason: 0 for reason in REJECTION_REASONS}
+        # Same expression as the reference engine so the floats are identical.
+        self._acceptance = [min(1.0, self.lam ** delta) for delta in range(-6, 7)]
+        self._nb_before, self._nb_after, self._property_ok = move_tables()
+        self._configuration_cache: Optional[ParticleConfiguration] = initial
+
+    # ------------------------------------------------------------------ #
+    # State access (mirrors the reference engine)
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return self._n
+
+    @property
+    def iterations(self) -> int:
+        """Number of iterations performed so far."""
+        return self._iterations
+
+    @property
+    def accepted_moves(self) -> int:
+        """Number of iterations that resulted in a particle move."""
+        return self._accepted
+
+    @property
+    def rejection_counts(self) -> Dict[str, int]:
+        """Counts of rejected proposals grouped by rejection reason."""
+        return dict(self._rejections)
+
+    @property
+    def edge_count(self) -> int:
+        """The current ``e(sigma)`` (maintained incrementally)."""
+        return self._edge_count
+
+    @property
+    def grid(self) -> OccupancyGrid:
+        """The dense occupancy grid backing the engine."""
+        return self._grid
+
+    @property
+    def occupied(self) -> frozenset[Node]:
+        """The current set of occupied nodes."""
+        grid = self._grid
+        return frozenset(grid.node_at(flat) for flat in self._pos)
+
+    @property
+    def configuration(self) -> ParticleConfiguration:
+        """The current configuration (cached between accepted moves)."""
+        if self._configuration_cache is None:
+            self._configuration_cache = ParticleConfiguration(self.occupied)
+        return self._configuration_cache
+
+    def perimeter(self) -> int:
+        """The current perimeter ``p(sigma)``, holes included.
+
+        O(1) via ``p = 3n - 3 - e`` once the configuration is hole-free
+        (the chain cannot create holes from there, Lemma 3.2); exact
+        cached recomputation while holes remain.
+        """
+        if not self._hole_free:
+            configuration = self.configuration
+            if configuration.holes:
+                return configuration.perimeter
+            self._hole_free = True
+        return 3 * self._n - 3 - self._edge_count
+
+    def hole_count(self) -> int:
+        """The number of holes in the current configuration."""
+        if self._hole_free:
+            return 0
+        holes = self.configuration.holes
+        if not holes:
+            self._hole_free = True
+        return len(holes)
+
+    # ------------------------------------------------------------------ #
+    # Dynamics
+    # ------------------------------------------------------------------ #
+    def step(self) -> StepResult:
+        """Perform one iteration of Algorithm M and report what happened.
+
+        Semantically identical to the reference engine's ``step``; used by
+        the lockstep differential tests.  Throughput-sensitive callers
+        should prefer :meth:`run`, which skips the per-proposal
+        :class:`~repro.core.markov_chain.StepResult` construction.
+        """
+        self._iterations += 1
+        index, direction_index, q = self._draws.draw()
+        grid = self._grid
+        cells = grid.cells
+        source = self._pos[index]
+        target = source + grid.direction_offsets[direction_index]
+        move = Move(source=grid.node_at(source), target=grid.node_at(target))
+
+        if cells[target]:
+            self._rejections["target_occupied"] += 1
+            return StepResult(False, move, None, "target_occupied")
+
+        ring = grid.ring_offsets[direction_index]
+        mask = (
+            cells[source + ring[0]]
+            | cells[source + ring[1]] << 1
+            | cells[source + ring[2]] << 2
+            | cells[source + ring[3]] << 3
+            | cells[source + ring[4]] << 4
+            | cells[source + ring[5]] << 5
+            | cells[source + ring[6]] << 6
+            | cells[source + ring[7]] << 7
+        )
+        neighbors_before = self._nb_before[mask]
+        edge_delta = self._nb_after[mask] - neighbors_before
+        if neighbors_before == FORBIDDEN_NEIGHBOR_COUNT:
+            self._rejections["five_neighbors"] += 1
+            return StepResult(False, move, edge_delta, "five_neighbors")
+        if not self._property_ok[mask]:
+            self._rejections["property_failed"] += 1
+            return StepResult(False, move, edge_delta, "property_failed")
+        if q >= self._acceptance[edge_delta + 6]:
+            self._rejections["metropolis_rejected"] += 1
+            return StepResult(False, move, edge_delta, "metropolis_rejected")
+
+        cells[source] = 0
+        cells[target] = 1
+        self._pos[index] = target
+        self._edge_count += edge_delta
+        self._accepted += 1
+        self._configuration_cache = None
+        if grid.guard_band[target]:
+            self._reallocate()
+        return StepResult(True, move, edge_delta, "moved")
+
+    def run(
+        self, iterations: int, callback: Optional[Callable[[int, StepResult], None]] = None
+    ) -> None:
+        """Run the chain for a number of iterations.
+
+        Without a callback this is the engine's hot path: a single Python
+        loop over the prefetched draw blocks with all state bound to
+        locals, no per-proposal allocations, and counters flushed back to
+        the instance at block boundaries.
+        """
+        if iterations < 0:
+            raise ConfigurationError(f"iterations must be non-negative, got {iterations}")
+        if callback is not None:
+            for _ in range(iterations):
+                result = self.step()
+                callback(self._iterations, result)
+            return
+
+        draws = self._draws
+        nb_before_table = self._nb_before
+        nb_after_table = self._nb_after
+        property_table = self._property_ok
+        acceptance = self._acceptance
+        pos = self._pos
+        grid = self._grid
+        cells = grid.cells
+        guard = grid.guard_band
+        direction_offsets = grid.direction_offsets
+        ring_offsets = grid.ring_offsets
+        forbidden = FORBIDDEN_NEIGHBOR_COUNT
+        occupied_rejects = five_rejects = property_rejects = metropolis_rejects = 0
+        accepted = 0
+        edges = self._edge_count
+        remaining = iterations
+        while remaining > 0:
+            if draws.cursor >= draws.size:
+                draws.refill()
+            indices = draws.indices
+            directions = draws.directions
+            uniforms = draws.uniforms
+            start = draws.cursor
+            stop = start + min(draws.size - start, remaining)
+            consumed = stop - start
+            hit_guard = False
+            for cursor in range(start, stop):
+                index = indices[cursor]
+                source = pos[index]
+                direction = directions[cursor]
+                target = source + direction_offsets[direction]
+                if cells[target]:
+                    occupied_rejects += 1
+                    continue
+                ring = ring_offsets[direction]
+                mask = (
+                    cells[source + ring[0]]
+                    | cells[source + ring[1]] << 1
+                    | cells[source + ring[2]] << 2
+                    | cells[source + ring[3]] << 3
+                    | cells[source + ring[4]] << 4
+                    | cells[source + ring[5]] << 5
+                    | cells[source + ring[6]] << 6
+                    | cells[source + ring[7]] << 7
+                )
+                neighbors_before = nb_before_table[mask]
+                if neighbors_before == forbidden:
+                    five_rejects += 1
+                    continue
+                if not property_table[mask]:
+                    property_rejects += 1
+                    continue
+                delta = nb_after_table[mask] - neighbors_before
+                if uniforms[cursor] >= acceptance[delta + 6]:
+                    metropolis_rejects += 1
+                    continue
+                cells[source] = 0
+                cells[target] = 1
+                pos[index] = target
+                edges += delta
+                accepted += 1
+                if guard[target]:
+                    consumed = cursor - start + 1
+                    hit_guard = True
+                    break
+            draws.cursor = start + consumed
+            remaining -= consumed
+            if hit_guard:
+                self._reallocate()
+                pos = self._pos
+                grid = self._grid
+                cells = grid.cells
+                guard = grid.guard_band
+                direction_offsets = grid.direction_offsets
+                ring_offsets = grid.ring_offsets
+
+        self._edge_count = edges
+        self._iterations += iterations
+        self._accepted += accepted
+        rejections = self._rejections
+        rejections["target_occupied"] += occupied_rejects
+        rejections["five_neighbors"] += five_rejects
+        rejections["property_failed"] += property_rejects
+        rejections["metropolis_rejected"] += metropolis_rejects
+        if accepted:
+            self._configuration_cache = None
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _reallocate(self) -> None:
+        """Re-center the grid and remap the flat position list."""
+        grid = self._grid
+        nodes = [grid.node_at(flat) for flat in self._pos]
+        fresh = OccupancyGrid(nodes)
+        self._grid = fresh
+        self._pos = [fresh.flat_index(node) for node in nodes]

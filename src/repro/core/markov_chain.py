@@ -15,6 +15,16 @@ The chain preserves connectivity (Lemma 3.1), never creates a hole in a
 hole-free configuration (Lemma 3.2), eventually reaches the hole-free
 space ``Omega*`` and is ergodic there (Section 3.5), and converges to
 ``pi(sigma) ∝ lambda^{e(sigma)}`` (Lemma 3.13).
+
+This module is the *reference engine*: every quantity it reports is
+either maintained by transparently simple bookkeeping or recomputed from
+scratch by :class:`~repro.lattice.configuration.ParticleConfiguration`.
+The production counterpart, :class:`~repro.core.fast_chain.FastCompressionChain`,
+trades that transparency for throughput; both consume randomness through
+the batched draw protocol of :class:`repro.rng.BatchedMoveDraws` (one
+``(index, direction, uniform)`` triple per iteration, the uniform consumed
+even when a proposal is rejected early), so equal seeds and block sizes
+yield bit-identical trajectories across the two engines.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.triangular import DIRECTIONS, Node, add
 from repro.core.moves import Move
 from repro.core.properties import satisfies_either_property
-from repro.rng import RandomState, make_rng
+from repro.rng import DEFAULT_DRAW_BLOCK, BatchedMoveDraws, RandomState, make_rng
 
 #: Reasons a proposed step may not result in a move.
 REJECTION_REASONS = (
@@ -77,6 +87,9 @@ class CompressionMarkovChain:
         provably compress; values below ``2.17`` provably expand.
     seed:
         Seed or generator for reproducible runs.
+    draw_block:
+        Block size of the batched draw tape (see :class:`repro.rng.BatchedMoveDraws`).
+        Engines compared by the differential harness must use equal blocks.
 
     Notes
     -----
@@ -90,6 +103,7 @@ class CompressionMarkovChain:
         initial: ParticleConfiguration,
         lam: float,
         seed: RandomState = None,
+        draw_block: int = DEFAULT_DRAW_BLOCK,
     ) -> None:
         if lam <= 0:
             raise ConfigurationError(f"lambda must be positive, got {lam}")
@@ -103,11 +117,13 @@ class CompressionMarkovChain:
         }
         self._edge_count = initial.edge_count
         self._n = len(self._positions)
+        self._draws = BatchedMoveDraws(self._rng, self._n, draw_block)
         self._iterations = 0
         self._accepted = 0
         self._rejections: Dict[str, int] = {reason: 0 for reason in REJECTION_REASONS}
         # Precompute acceptance probabilities for each possible edge delta.
         self._acceptance = {delta: min(1.0, self.lam ** delta) for delta in range(-6, 7)}
+        self._configuration_cache: Optional[ParticleConfiguration] = initial
 
     # ------------------------------------------------------------------ #
     # State access
@@ -144,12 +160,23 @@ class CompressionMarkovChain:
 
     @property
     def configuration(self) -> ParticleConfiguration:
-        """The current configuration as an immutable value object."""
-        return ParticleConfiguration(self._occupied)
+        """The current configuration as an immutable value object.
+
+        Cached between accepted moves: repeated access (and the derived
+        quantities :class:`ParticleConfiguration` itself caches) costs
+        nothing until the next move invalidates it.
+        """
+        if self._configuration_cache is None:
+            self._configuration_cache = ParticleConfiguration(self._occupied)
+        return self._configuration_cache
 
     def perimeter(self) -> int:
         """The current perimeter ``p(sigma)`` (computed exactly, holes included)."""
         return self.configuration.perimeter
+
+    def hole_count(self) -> int:
+        """The number of holes in the current configuration."""
+        return len(self.configuration.holes)
 
     # ------------------------------------------------------------------ #
     # Dynamics
@@ -157,11 +184,9 @@ class CompressionMarkovChain:
     def step(self) -> StepResult:
         """Perform one iteration of Algorithm M and report what happened."""
         self._iterations += 1
-        rng = self._rng
-        index = int(rng.integers(0, self._n))
+        index, direction_index, q = self._draws.draw()
         source = self._positions[index]
-        direction = DIRECTIONS[int(rng.integers(0, 6))]
-        target = add(source, direction)
+        target = add(source, DIRECTIONS[direction_index])
         move = Move(source=source, target=target)
 
         if target in self._occupied:
@@ -182,7 +207,6 @@ class CompressionMarkovChain:
             self._rejections["property_failed"] += 1
             return StepResult(False, move, edge_delta, "property_failed")
 
-        q = float(rng.random())
         if q >= self._acceptance[edge_delta]:
             self._rejections["metropolis_rejected"] += 1
             return StepResult(False, move, edge_delta, "metropolis_rejected")
@@ -230,3 +254,4 @@ class CompressionMarkovChain:
         self._positions[index] = target
         self._edge_count += edge_delta
         self._accepted += 1
+        self._configuration_cache = None

@@ -4,15 +4,88 @@ Every stochastic component of the library accepts either ``None`` (fresh
 entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
 This module centralizes the conversion so behaviour is reproducible and
 uniform across the code base.
+
+It also defines the *batched draw protocol* shared by the two Algorithm M
+engines (:class:`~repro.core.markov_chain.CompressionMarkovChain` and
+:class:`~repro.core.fast_chain.FastCompressionChain`): per chain iteration
+both engines consume exactly one ``(particle index, direction, uniform)``
+triple from a :class:`BatchedMoveDraws` tape, pre-generated in fixed-size
+blocks.  Because consumption is one triple per iteration regardless of how
+the proposal is resolved, two engines seeded identically and using the
+same block size see bit-identical randomness — which is what makes the
+differential-testing harness able to demand identical trajectories.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 RandomState = Union[None, int, np.random.Generator]
+
+#: Default number of (index, direction, uniform) triples generated per batch.
+DEFAULT_DRAW_BLOCK = 1024
+
+
+class BatchedMoveDraws:
+    """Block-prefetched randomness for one Algorithm M engine.
+
+    Each refill draws ``block`` particle indices (uniform on ``[0, n)``),
+    ``block`` direction indices (uniform on ``[0, 6)``) and ``block``
+    uniforms on ``[0, 1)`` from the underlying generator, in that order,
+    and converts them to plain Python scalars once so the per-iteration
+    cost is three list reads.
+
+    The uniform of a triple is consumed even when the proposal is rejected
+    before the Metropolis filter (e.g. an occupied target); this keeps the
+    tape position a pure function of the iteration count, so engines with
+    the same seed and block size stay aligned forever.
+
+    Attributes
+    ----------
+    indices, directions, uniforms:
+        The current block's draws as plain Python lists.  Exposed (together
+        with ``cursor``/``size``) so the fast engine's inner loop can read
+        them without per-draw method-call overhead.
+    cursor:
+        Position of the next unconsumed triple within the current block.
+    size:
+        Number of triples in the current block (0 before the first refill).
+    """
+
+    __slots__ = ("_rng", "_n", "block", "indices", "directions", "uniforms", "cursor", "size")
+
+    def __init__(self, rng: np.random.Generator, n: int, block: int = DEFAULT_DRAW_BLOCK) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one particle to draw indices, got n={n}")
+        if block <= 0:
+            raise ValueError(f"block size must be positive, got {block}")
+        self._rng = rng
+        self._n = n
+        self.block = block
+        self.indices: List[int] = []
+        self.directions: List[int] = []
+        self.uniforms: List[float] = []
+        self.cursor = 0
+        self.size = 0
+
+    def refill(self) -> None:
+        """Generate the next block of triples, discarding any unread remainder."""
+        rng = self._rng
+        self.indices = rng.integers(0, self._n, size=self.block).tolist()
+        self.directions = rng.integers(0, 6, size=self.block).tolist()
+        self.uniforms = rng.random(self.block).tolist()
+        self.cursor = 0
+        self.size = self.block
+
+    def draw(self) -> Tuple[int, int, float]:
+        """Consume and return the next ``(index, direction, uniform)`` triple."""
+        if self.cursor >= self.size:
+            self.refill()
+        cursor = self.cursor
+        self.cursor = cursor + 1
+        return self.indices[cursor], self.directions[cursor], self.uniforms[cursor]
 
 
 def make_rng(seed: RandomState = None) -> np.random.Generator:

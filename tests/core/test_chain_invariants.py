@@ -1,0 +1,88 @@
+"""Property-based randomized invariant tests for the chain engines.
+
+Over dozens of seeded random runs these assert the paper's structural
+guarantees along real trajectories — connectivity is never broken
+(Lemma 3.1) and hole-free configurations stay hole-free (Lemma 3.2) —
+and that the engines' incrementally maintained counters (``e(sigma)``,
+``p(sigma)``, hole counts) always agree with a from-scratch
+:class:`~repro.lattice.configuration.ParticleConfiguration` recomputation.
+
+The checks run primarily against the fast engine (whose incremental
+bookkeeping is the non-obvious part); a reference-engine subset guards
+the same invariants on the transparent implementation.
+"""
+
+import pytest
+
+from repro.core.fast_chain import FastCompressionChain
+from repro.core.markov_chain import CompressionMarkovChain
+from repro.lattice.shapes import random_connected, random_hole_free
+
+#: lambdas cycled across the randomized runs: expanding, neutral and
+#: compressing regimes.
+LAMBDAS = (1.0, 2.0, 4.0, 6.0)
+
+#: (seed, n, lambda, hole-free start?) for the randomized sweep — 52 runs.
+RUN_MATRIX = [
+    (seed, 12 + (seed % 5) * 5, LAMBDAS[seed % len(LAMBDAS)], seed % 2 == 0)
+    for seed in range(52)
+]
+
+
+def random_start(n, seed, hole_free):
+    if hole_free:
+        return random_hole_free(n, seed=seed)
+    return random_connected(n, seed=seed, compactness=0.3 * (seed % 3))
+
+
+def check_invariants(chain, start_was_hole_free, context):
+    configuration = chain.configuration
+    # Lemma 3.1: every reachable configuration is connected.
+    assert configuration.is_connected, f"{context}: connectivity broken"
+    # Lemma 3.2: no move creates a hole in a hole-free configuration.
+    if start_was_hole_free:
+        assert configuration.is_hole_free, f"{context}: hole created from hole-free start"
+    # Incremental counters match full recomputation.
+    assert chain.edge_count == configuration.edge_count, f"{context}: edge count drifted"
+    assert chain.perimeter() == configuration.perimeter, f"{context}: perimeter drifted"
+    assert chain.hole_count() == len(configuration.holes), f"{context}: hole count drifted"
+    assert configuration.n == chain.n, f"{context}: particle count not conserved"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed,n,lam,hole_free", RUN_MATRIX)
+def test_randomized_invariants_fast_engine(seed, n, lam, hole_free):
+    start = random_start(n, seed, hole_free)
+    hole_free_start = start.is_hole_free  # random_connected may be hole-free by luck
+    chain = FastCompressionChain(start, lam=lam, seed=seed)
+    for block in range(4):
+        chain.run(400)
+        check_invariants(chain, hole_free_start, f"seed={seed} block={block}")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_invariants_reference_engine(seed):
+    start = random_start(20, seed, hole_free=seed % 2 == 0)
+    hole_free_start = start.is_hole_free
+    chain = CompressionMarkovChain(start, lam=LAMBDAS[seed % len(LAMBDAS)], seed=seed)
+    for block in range(3):
+        chain.run(300)
+        check_invariants(chain, hole_free_start, f"reference seed={seed} block={block}")
+
+
+@pytest.mark.slow
+def test_holes_never_reappear_once_eliminated():
+    """Once a holey start reaches the hole-free space it stays there (Lemma 3.2)."""
+    for seed in (0, 1, 2):
+        start = random_connected(30, seed=100 + seed)
+        chain = FastCompressionChain(start, lam=5.0, seed=seed)
+        was_hole_free = False
+        for _ in range(25):
+            chain.run(1000)
+            # Recompute from scratch rather than trusting the engine's own
+            # hole bookkeeping (which is itself under test here).
+            hole_free_now = chain.configuration.is_hole_free
+            if was_hole_free:
+                assert hole_free_now, f"seed={seed}: a hole reappeared"
+            was_hole_free = was_hole_free or hole_free_now

@@ -1,0 +1,182 @@
+"""Differential-testing harness: the fast engine against the reference engine.
+
+The contract under test is the one documented in :mod:`repro.core`:
+seeded identically (same seed, same draw block), the grid-based
+:class:`~repro.core.fast_chain.FastCompressionChain` and the hash-map
+:class:`~repro.core.markov_chain.CompressionMarkovChain` must produce
+bit-identical trajectories — the same proposal every iteration, resolved
+the same way (identical move, rejection reason and edge delta), with
+identical running edge counts, perimeters and rejection tallies.
+
+Lockstep runs cover the paper's standard line start, maximally compressed
+spirals, and random connected starts (with and without holes), across
+compressing (``lambda > 3.42``), neutral (``lambda = 1``) and expanding
+(``lambda < 2.17``) regimes.
+"""
+
+import pytest
+
+from repro.core.fast_chain import (
+    RING_OFFSETS,
+    FastCompressionChain,
+    OccupancyGrid,
+    move_tables,
+)
+from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.properties import satisfies_either_property
+from repro.errors import ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.shapes import line, random_connected, ring, spiral
+from repro.lattice.triangular import DIRECTIONS, neighbors
+
+#: name -> (start configuration, lambda, lockstep iterations)
+LOCKSTEP_CASES = {
+    "line20_compressing": (line(20), 4.0, 2500),
+    "line35_strong_bias": (line(35), 6.0, 2500),
+    "spiral25_compressing": (spiral(25), 4.0, 2000),
+    "spiral40_expanding": (spiral(40), 1.5, 2000),
+    "random24_with_holes": (random_connected(24, seed=11), 4.0, 2000),
+    "random30_compact": (random_connected(30, seed=23, compactness=0.6), 2.0, 2000),
+    "ring2_hole_elimination": (ring(2), 4.0, 2000),
+    "unbiased_random_walk": (line(15), 1.0, 2000),
+}
+
+
+def engine_pair(initial, lam, seed):
+    """A (reference, fast) pair seeded identically."""
+    return (
+        CompressionMarkovChain(initial, lam=lam, seed=seed),
+        FastCompressionChain(initial, lam=lam, seed=seed),
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(LOCKSTEP_CASES))
+def test_lockstep_trajectories_are_identical(name):
+    initial, lam, iterations = LOCKSTEP_CASES[name]
+    reference, fast = engine_pair(initial, lam, seed=7)
+    for iteration in range(iterations):
+        expected = reference.step()
+        actual = fast.step()
+        assert actual == expected, (
+            f"{name}: trajectories diverged at iteration {iteration}: "
+            f"reference={expected}, fast={actual}"
+        )
+        assert fast.edge_count == reference.edge_count, f"{name}@{iteration}"
+        if iteration % 250 == 0:
+            assert fast.perimeter() == reference.perimeter(), f"{name}@{iteration}"
+    assert fast.occupied == reference.occupied
+    assert fast.accepted_moves == reference.accepted_moves
+    assert fast.rejection_counts == reference.rejection_counts
+    assert fast.perimeter() == reference.perimeter()
+    assert fast.hole_count() == reference.hole_count()
+    assert fast.configuration == reference.configuration
+
+
+@pytest.mark.slow
+def test_block_runs_match_lockstep_runs():
+    """run(k) must consume the tape exactly like k step() calls."""
+    initial = line(40)
+    stepped = FastCompressionChain(initial, lam=4.0, seed=3)
+    blocked = FastCompressionChain(initial, lam=4.0, seed=3)
+    for _ in range(3000):
+        stepped.step()
+    for block in (1, 7, 500, 992, 1500):  # straddles draw-block boundaries
+        blocked.run(block)
+    assert blocked.iterations == stepped.iterations == 3000
+    assert blocked.occupied == stepped.occupied
+    assert blocked.edge_count == stepped.edge_count
+    assert blocked.rejection_counts == stepped.rejection_counts
+
+
+@pytest.mark.slow
+def test_long_run_with_grid_reallocation_matches_reference():
+    """An unbiased blob drifts far enough to force several grid re-centers."""
+    initial = line(30)
+    reference, fast = engine_pair(initial, 1.0, seed=13)
+    reference.run(150_000)
+    fast.run(150_000)
+    assert fast.occupied == reference.occupied
+    assert fast.edge_count == reference.edge_count
+    assert fast.accepted_moves == reference.accepted_moves
+    assert fast.rejection_counts == reference.rejection_counts
+    assert fast.perimeter() == reference.perimeter()
+
+
+def test_callback_interface_matches_reference():
+    seen_reference, seen_fast = [], []
+    reference, fast = engine_pair(line(12), 4.0, seed=5)
+    reference.run(200, callback=lambda i, r: seen_reference.append((i, r)))
+    fast.run(200, callback=lambda i, r: seen_fast.append((i, r)))
+    assert seen_fast == seen_reference
+
+
+def test_constructor_error_parity():
+    disconnected = ParticleConfiguration([(0, 0), (5, 5)])
+    for engine in (CompressionMarkovChain, FastCompressionChain):
+        with pytest.raises(ConfigurationError):
+            engine(disconnected, lam=4.0)
+        with pytest.raises(ConfigurationError):
+            engine(line(5), lam=0.0)
+        with pytest.raises(ConfigurationError):
+            engine(line(5), lam=4.0).run(-1)
+
+
+class TestMoveTables:
+    def test_property_table_matches_reference_in_every_direction(self):
+        """One table serves all six directions (rotation invariance)."""
+        _, _, property_ok = move_tables()
+        for direction, delta in enumerate(DIRECTIONS):
+            ring = RING_OFFSETS[direction]
+            for mask in range(256):
+                occupied = {(0, 0)}
+                occupied.update(ring[k] for k in range(8) if mask >> k & 1)
+                assert property_ok[mask] == satisfies_either_property(
+                    occupied, (0, 0), delta
+                ), f"direction {direction}, mask {mask:#010b}"
+
+    def test_neighbor_tables_count_ring_bits(self):
+        neighbors_before, neighbors_after, _ = move_tables()
+        ring = RING_OFFSETS[0]
+        source, target = (0, 0), DIRECTIONS[0]
+        for mask in range(256):
+            occupied = {ring[k] for k in range(8) if mask >> k & 1}
+            assert neighbors_before[mask] == sum(
+                1 for node in neighbors(source) if node in occupied
+            )
+            assert neighbors_after[mask] == sum(
+                1 for node in neighbors(target) if node in occupied
+            )
+
+
+class TestOccupancyGrid:
+    def test_roundtrip_and_membership(self):
+        nodes = sorted(spiral(19).nodes)
+        grid = OccupancyGrid(nodes)
+        for node in nodes:
+            assert grid.node_at(grid.flat_index(node)) == node
+            assert grid.is_occupied(node)
+        assert not grid.is_occupied((100, 100))  # outside the window
+        assert sorted(grid.occupied_nodes()) == nodes
+        assert grid.occupied_count() == 19
+
+    def test_array_view_shares_memory(self):
+        grid = OccupancyGrid([(0, 0)])
+        assert grid.array.sum() == 1
+        grid.add((1, 0))
+        assert grid.array.sum() == 2
+        grid.remove((0, 0))
+        assert grid.array.sum() == 1
+
+    def test_add_far_outside_window_recenters(self):
+        grid = OccupancyGrid([(0, 0)])
+        grid.add((500, -300))
+        assert grid.is_occupied((0, 0))
+        assert grid.is_occupied((500, -300))
+        assert grid.occupied_count() == 2
+
+    def test_recenter_preserves_occupancy(self):
+        nodes = sorted(random_connected(25, seed=2).nodes)
+        grid = OccupancyGrid(nodes)
+        grid.recenter()
+        assert sorted(grid.occupied_nodes()) == nodes

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import REJECTION_REASONS, CompressionMarkovChain, StepResult
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
@@ -103,6 +104,40 @@ class TestInvariants:
         configuration = chain.configuration
         assert configuration.is_hole_free
         assert chain.perimeter() == 3 * 20 - chain.edge_count - 3
+
+
+class TestConfigurationCache:
+    """The configuration value object is cached between accepted moves."""
+
+    @pytest.mark.parametrize("engine", [CompressionMarkovChain, FastCompressionChain])
+    def test_repeated_access_returns_same_object(self, engine):
+        chain = engine(line(10), lam=4.0, seed=0)
+        first = chain.configuration
+        # No moves in between: repeated access must do no extra work, which
+        # object identity proves (a rebuild would allocate a fresh instance).
+        assert chain.configuration is first
+        assert chain.configuration is first
+
+    @pytest.mark.parametrize("engine", [CompressionMarkovChain, FastCompressionChain])
+    def test_accepted_move_invalidates_cache(self, engine):
+        chain = engine(line(10), lam=4.0, seed=0)
+        before = chain.configuration
+        while chain.accepted_moves == 0:
+            chain.step()
+        after = chain.configuration
+        assert after is not before
+        assert after != before
+        assert after is chain.configuration  # cached again until the next move
+
+    def test_rejections_do_not_invalidate_cache(self):
+        chain = CompressionMarkovChain(line(10), lam=4.0, seed=0)
+        cached = chain.configuration
+        while True:
+            result = chain.step()
+            if not result.moved:
+                break
+            cached = chain.configuration
+        assert chain.configuration is cached
 
 
 class TestBiasDirection:
