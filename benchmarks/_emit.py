@@ -1,11 +1,12 @@
 """Machine-readable benchmark output.
 
 Benchmarks call :func:`record` with a name and numeric fields; results are
-merged into ``benchmarks/BENCH_chain.json`` keyed by name, so re-running a
-single benchmark updates only its own entry.  The file is the repo's
-performance ledger: each PR that touches a hot path re-runs the relevant
-benchmarks and commits the updated numbers, giving the project a tracked
-perf trajectory instead of folklore.
+merged into a ledger file keyed by name (``benchmarks/BENCH_chain.json``
+by default; pass ``path`` for a subsystem ledger such as
+``BENCH_ensemble.json``), so re-running a single benchmark updates only
+its own entry.  The files are the repo's performance ledger: each PR that
+touches a hot path re-runs the relevant benchmarks and commits the updated
+numbers, giving the project a tracked perf trajectory instead of folklore.
 
 The format is deliberately trivial — one JSON object, one entry per
 benchmark, plus a ``_meta`` block — so any later tooling (plots,
@@ -18,15 +19,15 @@ import json
 import platform
 import sys
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Union
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_chain.json"
 
 
-def _load() -> Dict[str, Any]:
-    if RESULTS_PATH.exists():
+def _load(path: Path) -> Dict[str, Any]:
+    if path.exists():
         try:
-            with RESULTS_PATH.open() as fh:
+            with path.open() as fh:
                 data = json.load(fh)
             if isinstance(data, dict):
                 return data
@@ -35,25 +36,30 @@ def _load() -> Dict[str, Any]:
     return {}
 
 
-def record(name: str, **fields: Any) -> Dict[str, Any]:
-    """Merge one benchmark result into ``BENCH_chain.json`` and return it.
+def record(name: str, path: Optional[Union[str, Path]] = None, **fields: Any) -> Dict[str, Any]:
+    """Merge one benchmark result into a ledger file and return the entry.
 
     Parameters
     ----------
     name:
         Stable identifier of the benchmark (the JSON key).
+    path:
+        Ledger file to update; defaults to ``benchmarks/BENCH_chain.json``.
+        Subsystem benchmarks keep their own ledger (e.g. the ensemble
+        runner writes ``benchmarks/BENCH_ensemble.json``).
     fields:
         Numeric results and their parameters, e.g.
         ``record("fast_chain_n1000", engine="fast", n=1000,
         iterations_per_second=2.4e6)``.
     """
-    data = _load()
+    target = Path(path) if path is not None else RESULTS_PATH
+    data = _load(target)
     data["_meta"] = {
         "python": sys.version.split()[0],
         "platform": platform.platform(),
     }
     data[name] = dict(fields)
-    with RESULTS_PATH.open("w") as fh:
+    with target.open("w") as fh:
         json.dump(data, fh, indent=1, sort_keys=True)
         fh.write("\n")
     return data[name]

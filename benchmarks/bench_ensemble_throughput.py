@@ -1,0 +1,112 @@
+"""Ensemble runner throughput: 16-point lambda sweep, serial vs 4 workers.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_ensemble_throughput.py
+
+Times the repo's standard parallel workload — a 16-point lambda sweep on
+the fast engine — once serially (``workers=1``) and once on 4 worker
+processes, verifies the two ensembles are bit-identical per seed, and
+writes the numbers to ``benchmarks/BENCH_ensemble.json``.
+
+Speedup gate: on a machine with at least 4 usable cores the 4-worker run
+must be >= 3x faster than serial (the jobs are embarrassingly parallel;
+anything less means the runner is adding overhead).  On smaller machines —
+CI containers pinned to one core included — the gate cannot physically
+pass and is recorded as not enforced rather than failed; the bit-identical
+check always runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _emit import record  # noqa: E402
+
+from repro.runtime import lambda_sweep_jobs, run_ensemble, usable_cores  # noqa: E402
+
+ENSEMBLE_LEDGER = Path(__file__).parent / "BENCH_ensemble.json"
+
+WORKERS = 4
+SPEEDUP_GATE = 3.0
+
+#: 16 lambdas spanning the proven expansion regime, the conjectured
+#: critical window, and the proven compression regime.
+LAMBDAS = (1.2, 1.5, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0, 3.2, 3.4, 3.6, 4.0, 4.5, 5.0, 6.0)
+
+
+def main(n: int = 100, iterations: int = 150_000) -> int:
+    jobs = lambda_sweep_jobs(n=n, lambdas=LAMBDAS, iterations=iterations, seed=0, engine="fast")
+    total_iterations = iterations * len(jobs)
+    print(f"16-point lambda sweep, n={n}, {iterations} iterations/chain, fast engine")
+
+    started = time.perf_counter()
+    serial = run_ensemble(jobs, workers=1)
+    serial_seconds = time.perf_counter() - started
+    print(f"  serial    : {serial_seconds:6.2f}s  ({total_iterations / serial_seconds:,.0f} it/s)")
+
+    started = time.perf_counter()
+    parallel = run_ensemble(jobs, workers=WORKERS)
+    parallel_seconds = time.perf_counter() - started
+    print(
+        f"  {WORKERS} workers : {parallel_seconds:6.2f}s  "
+        f"({total_iterations / parallel_seconds:,.0f} it/s)"
+    )
+
+    identical = all(
+        s.trace.points == p.trace.points and s.rejection_counts == p.rejection_counts
+        for s, p in zip(serial.results, parallel.results)
+    )
+    if not identical:
+        print("FAIL: parallel ensemble diverged from serial execution")
+        return 1
+    print("  parallel results bit-identical to serial: yes")
+
+    speedup = serial_seconds / parallel_seconds
+    cores = usable_cores()
+    gate_enforced = cores >= WORKERS
+    gate_passed = speedup >= SPEEDUP_GATE
+    print(f"  speedup   : {speedup:.2f}x on {cores} usable core(s)")
+
+    record(
+        "ensemble_sweep16_serial_vs_parallel",
+        path=ENSEMBLE_LEDGER,
+        n=n,
+        lambdas=len(LAMBDAS),
+        iterations_per_chain=iterations,
+        engine="fast",
+        workers=WORKERS,
+        usable_cores=cores,
+        serial_seconds=round(serial_seconds, 3),
+        parallel_seconds=round(parallel_seconds, 3),
+        speedup=round(speedup, 3),
+        bit_identical=identical,
+        speedup_gate=SPEEDUP_GATE,
+        gate_enforced=gate_enforced,
+        gate_passed=gate_passed,
+    )
+    print(f"  ledger    : {ENSEMBLE_LEDGER.name} updated")
+
+    if gate_enforced and not gate_passed:
+        print(
+            f"FAIL: {speedup:.2f}x < {SPEEDUP_GATE}x gate with {cores} cores available"
+        )
+        return 1
+    if not gate_enforced:
+        print(
+            f"  gate      : {SPEEDUP_GATE}x gate not enforced "
+            f"({cores} usable core(s) < {WORKERS} workers; determinism still verified)"
+        )
+    else:
+        print(f"  gate      : passed ({speedup:.2f}x >= {SPEEDUP_GATE}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    arguments = sys.argv[1:]
+    n = int(arguments[0]) if len(arguments) > 0 else 100
+    iterations = int(arguments[1]) if len(arguments) > 1 else 150_000
+    sys.exit(main(n, iterations))

@@ -2,22 +2,48 @@
 
 Run with::
 
-    python examples/lambda_sweep.py
+    python examples/lambda_sweep.py [workers] [replicas]
 
 Prints a table of final perimeter ratios for lambdas straddling the proven
 expansion regime (lambda < 2.17), the conjectured phase-transition window,
 and the proven compression regime (lambda > 2 + sqrt(2) ~ 3.41).
+
+The sweep is submitted through the parallel ensemble runner
+(:mod:`repro.runtime`): every (lambda, replica) chain carries its own
+spawned seed, so the numbers below are identical for any worker count —
+parallelism changes wall-clock time only.  With ``replicas > 1`` the
+cross-replica standard error is printed alongside each mean.
 """
 
 from __future__ import annotations
 
+import sys
+
 from repro.analysis.experiments import run_lambda_sweep
 from repro.constants import COMPRESSION_THRESHOLD, EXPANSION_THRESHOLD
+from repro.runtime import ResultsTable, default_workers
 
 
-def main() -> None:
+def main(workers: int, replicas: int) -> None:
     lambdas = (1.2, 1.7, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0)
-    record = run_lambda_sweep(n=60, lambdas=lambdas, iterations=200_000, seed=0)
+    print(
+        f"Sweeping {len(lambdas)} lambdas x {replicas} replica(s) on {workers} worker(s), "
+        f"fast engine"
+    )
+    record = run_lambda_sweep(
+        n=60,
+        lambdas=lambdas,
+        iterations=200_000,
+        seed=0,
+        engine="fast",
+        replicas=replicas,
+        workers=workers,
+    )
+    table = ResultsTable(record.results["table"])
+    spread = {
+        summary["group"]: summary["std_error"]
+        for summary in table.summary("final_alpha", by="lambda")
+    }
     print("lambda   regime                    final p   alpha    beta")
     print("-" * 62)
     for row in record.results["rows"]:
@@ -28,9 +54,11 @@ def main() -> None:
             regime = "open (conjectured critical)"
         else:
             regime = "proven compression"
+        sem = spread.get(lam)
+        sem_label = f"  (alpha sem {sem:.3f})" if sem is not None else ""
         print(
             f"{lam:5.2f}   {regime:<26}{row['final_perimeter']:7.0f}  "
-            f"{row['alpha']:6.2f}  {row['beta']:6.2f}"
+            f"{row['alpha']:6.2f}  {row['beta']:6.2f}{sem_label}"
         )
     print(
         f"\nThresholds: expansion below {EXPANSION_THRESHOLD:.3f}, compression above "
@@ -39,4 +67,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    arguments = sys.argv[1:]
+    workers = int(arguments[0]) if len(arguments) > 0 else default_workers(limit=4)
+    replicas = int(arguments[1]) if len(arguments) > 1 else 1
+    main(workers, replicas)

@@ -2,24 +2,40 @@
 
 Run with::
 
-    python examples/scaling_study.py
+    python examples/scaling_study.py [workers]
 
 The paper reports that doubling the number of particles increases the
 iterations until compression roughly ten-fold, suggesting Theta(n^3) to
-O(n^4) scaling.  This script measures compression times for a few sizes
-and fits the power-law exponent.  Expect a few minutes of runtime.
+O(n^4) scaling.  This script measures compression times for a few sizes on
+the fast engine and fits the power-law exponent.  The independent
+measurements are dispatched through the parallel ensemble runner
+(:mod:`repro.runtime`); the hitting times are seed-determined, so the fit
+is identical for any worker count.
 """
 
 from __future__ import annotations
 
+import sys
+
 from repro.analysis.convergence import scaling_study
+from repro.runtime import default_workers
 
 
-def main() -> None:
+def main(workers: int) -> None:
     sizes = [10, 15, 20, 30]
-    print(f"Measuring iterations until 2-compression for n in {sizes} (lambda = 5)")
+    print(
+        f"Measuring iterations until 2-compression for n in {sizes} "
+        f"(lambda = 5, fast engine, {workers} worker(s))"
+    )
     result = scaling_study(
-        sizes=sizes, lam=5.0, alpha=2.0, repetitions=2, budget_factor=200.0, seed=0
+        sizes=sizes,
+        lam=5.0,
+        alpha=2.0,
+        repetitions=2,
+        budget_factor=200.0,
+        seed=0,
+        engine="fast",
+        workers=workers,
     )
     print("\n   n    mean iterations to alpha=2 compression")
     for n, time in zip(result.sizes, result.times):
@@ -33,4 +49,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    arguments = sys.argv[1:]
+    workers = int(arguments[0]) if len(arguments) > 0 else default_workers(limit=4)
+    main(workers)

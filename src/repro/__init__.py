@@ -17,13 +17,16 @@ The package provides:
 * :mod:`repro.analysis` — metrics, counting, partition-function bounds,
   Peierls thresholds, mixing diagnostics, scaling studies and the
   experiment harness;
+* :mod:`repro.runtime` — the parallel ensemble runner: lambda sweeps,
+  n-scaling studies and replica ensembles over worker processes, with
+  bit-identical-to-serial results and checkpoint/resume;
 * :mod:`repro.viz` and :mod:`repro.io` — dependency-free rendering and
   JSON serialization.
 
 Quickstart
 ----------
 >>> from repro import CompressionSimulation
->>> simulation = CompressionSimulation.from_line(50, lam=4.0, seed=0)
+>>> simulation = CompressionSimulation.from_line(50, lam=4.0, seed=0, engine="fast")
 >>> _ = simulation.run(100_000)
 >>> simulation.compression_ratio() < 4.0
 True
@@ -42,8 +45,18 @@ from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.amoebot.system import AmoebotSystem
 from repro.algorithms.expansion import ExpansionSimulation
+from repro.runtime import (
+    ChainJob,
+    ChainResult,
+    EnsembleRunner,
+    ResultsTable,
+    lambda_sweep_jobs,
+    replica_jobs,
+    run_ensemble,
+    scaling_time_jobs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",
@@ -63,5 +76,13 @@ __all__ = [
     "FastCompressionChain",
     "AmoebotSystem",
     "ExpansionSimulation",
+    "ChainJob",
+    "ChainResult",
+    "EnsembleRunner",
+    "ResultsTable",
+    "lambda_sweep_jobs",
+    "replica_jobs",
+    "run_ensemble",
+    "scaling_time_jobs",
     "__version__",
 ]

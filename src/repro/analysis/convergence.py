@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.compression import CompressionSimulation
 from repro.errors import AnalysisError
-from repro.rng import RandomState, make_rng
+from repro.rng import RandomState
 
 
 def measure_compression_time(
@@ -85,10 +85,18 @@ def scaling_study(
     alpha: float = 3.0,
     repetitions: int = 2,
     budget_factor: float = 50.0,
-    seed: RandomState = None,
+    seed: Optional[int] = None,
     engine: str = "reference",
+    workers: int = 1,
+    checkpoint: Optional[object] = None,
 ) -> ScalingResult:
     """Measure compression times across sizes and fit the scaling exponent.
+
+    The ``len(sizes) * repetitions`` hitting-time measurements are
+    independent chains, submitted through the parallel ensemble runner
+    (:mod:`repro.runtime`): each gets a seed spawned from ``seed`` up
+    front, so the measured times do not depend on ``workers``, and a
+    ``checkpoint`` directory lets a multi-hour study resume.
 
     Parameters
     ----------
@@ -104,21 +112,31 @@ def scaling_study(
     engine:
         Which Algorithm M engine to run (``"reference"`` or ``"fast"``);
         use ``"fast"`` for sizes beyond a few dozen particles.
+    workers:
+        Worker processes for the ensemble runner (1 = in-process).
+    checkpoint:
+        Optional checkpoint directory for resumable studies.
     """
+    from repro.runtime.jobs import scaling_time_jobs
+    from repro.runtime.runner import run_ensemble
+
     if repetitions < 1:
         raise AnalysisError("repetitions must be at least 1")
-    rng = make_rng(seed)
+    jobs = scaling_time_jobs(
+        sizes=sizes,
+        lam=lam,
+        alpha=alpha,
+        repetitions=repetitions,
+        budget_factor=budget_factor,
+        seed=seed,
+        engine=engine,
+    )
+    ensemble = run_ensemble(jobs, workers=workers, checkpoint=checkpoint)
     per_size: List[List[Optional[int]]] = []
     means: List[float] = []
-    for n in sizes:
-        budget = int(budget_factor * n ** 3)
-        runs: List[Optional[int]] = []
-        for _ in range(repetitions):
-            runs.append(
-                measure_compression_time(
-                    n, lam=lam, alpha=alpha, max_iterations=budget, seed=rng, engine=engine
-                )
-            )
+    for i, _ in enumerate(sizes):
+        group = ensemble.table.where(size_index=i)
+        runs = group.column("compression_time")
         per_size.append(runs)
         successful = [float(r) for r in runs if r is not None]
         means.append(float(np.mean(successful)) if successful else float("nan"))

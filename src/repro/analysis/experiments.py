@@ -7,6 +7,15 @@ directly from harness output.  The benchmarks under ``benchmarks/`` call
 these functions with reduced default workloads; passing ``full_scale=True``
 reproduces the paper's original parameters (100 particles, millions of
 iterations) at the cost of minutes-to-hours of runtime.
+
+Multi-chain experiments (the lambda sweep here, the scaling study in
+:mod:`repro.analysis.convergence`) submit their runs through the parallel
+ensemble runner (:mod:`repro.runtime`) instead of hand-rolled loops: pass
+``workers=4`` to spread the chains over worker processes with bit-identical
+per-seed results, and ``checkpoint="some/dir"`` to make long sweeps
+resumable.  (Those imports are function-local: the io/runtime layers import
+this module for :class:`ExperimentRecord`, and the late binding keeps the
+load-time dependency graph acyclic.)
 """
 
 from __future__ import annotations
@@ -122,36 +131,63 @@ def run_lambda_sweep(
     n: int = 50,
     lambdas: Sequence[float] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0, 6.0),
     iterations: int = 150_000,
-    seed: RandomState = 0,
+    seed: Optional[int] = 0,
     engine: str = "reference",
+    replicas: int = 1,
+    workers: int = 1,
+    checkpoint: Optional[Any] = None,
 ) -> ExperimentRecord:
     """Experiment E14: final perimeter ratio as a function of the bias ``lambda``.
 
     Straddles the proven expansion regime (``lambda < 2.17``) and the proven
     compression regime (``lambda > 2 + sqrt(2) ~ 3.41``); the paper
     conjectures a phase transition somewhere in between.
-    """
-    from repro.rng import make_rng
 
+    Jobs are submitted through the parallel ensemble runner
+    (:mod:`repro.runtime`): each ``(lambda, replica)`` pair gets its own
+    spawned seed, so results are independent of ``workers`` — a 4-worker
+    sweep is bit-identical to a serial one.  ``replicas > 1`` averages
+    independent chains per lambda (per-replica spread lands in the attached
+    results table); ``checkpoint`` names a directory that lets a long sweep
+    resume after interruption.
+    """
+    from repro.runtime.jobs import lambda_sweep_jobs
+    from repro.runtime.runner import run_ensemble
+
+    jobs = lambda_sweep_jobs(
+        n=n,
+        lambdas=lambdas,
+        iterations=iterations,
+        seed=seed,
+        engine=engine,
+        replicas=replicas,
+        record_every=iterations if iterations else None,
+    )
+    ensemble = run_ensemble(jobs, workers=workers, checkpoint=checkpoint)
     rows: List[Dict[str, float]] = []
-    rng = make_rng(seed)
-    for lam in lambdas:
-        simulation = CompressionSimulation.from_line(n, lam=lam, seed=rng, engine=engine)
-        simulation.run(iterations, record_every=iterations)
-        final = simulation.trace.final()
+    for i, lam in enumerate(lambdas):
+        group = ensemble.table.where(lambda_index=i)
         rows.append(
             {
                 "lambda": float(lam),
-                "final_perimeter": float(final.perimeter),
-                "alpha": float(final.alpha),
-                "beta": float(final.beta),
+                "final_perimeter": group.mean("final_perimeter"),
+                "alpha": group.mean("final_alpha"),
+                "beta": group.mean("final_beta"),
+                "replicas": len(group),
             }
         )
     return ExperimentRecord(
         experiment_id="E14",
         description="Perimeter ratio vs lambda sweep across both proven regimes",
-        parameters={"n": n, "lambdas": list(lambdas), "iterations": iterations},
-        results={"rows": rows},
+        parameters={
+            "n": n,
+            "lambdas": list(lambdas),
+            "iterations": iterations,
+            "replicas": replicas,
+            "workers": workers,
+            "engine": engine,
+        },
+        results={"rows": rows, "table": ensemble.table.rows},
         expectation=(
             "Small lambda keeps the perimeter near pmax (beta close to a constant); large "
             "lambda drives it toward pmin (alpha close to 1); the crossover lies between "

@@ -1,14 +1,22 @@
-"""Time-series statistics for simulation output.
+"""Time-series and ensemble statistics for simulation output.
 
 Compression traces are autocorrelated Markov chain output; these helpers
 provide the standard corrections (autocorrelation functions, batch means,
 bootstrap confidence intervals) used when reporting measured perimeters and
 compression times in EXPERIMENTS.md.
+
+:func:`ensemble_summary` is the bridge from the parallel ensemble runner:
+it consumes the per-chain :class:`~repro.runtime.results.ResultsTable`
+streamed out of :func:`repro.runtime.runner.run_ensemble` and reduces
+replica columns to means, standard errors and bootstrap confidence
+intervals.  (The table is duck-typed here — anything with ``column`` and
+``group_by`` works — so the analysis layer stays import-independent of the
+runtime layer.)
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,3 +91,64 @@ def bootstrap_confidence_interval(
     lower = float(np.percentile(means, 100 * (1 - level) / 2))
     upper = float(np.percentile(means, 100 * (1 + level) / 2))
     return (lower, upper)
+
+
+def ensemble_summary(
+    table: Any,
+    value: str,
+    by: Optional[str] = None,
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: RandomState = 0,
+) -> List[Dict[str, Any]]:
+    """Reduce an ensemble results table to per-group summary statistics.
+
+    Parameters
+    ----------
+    table:
+        A :class:`repro.runtime.results.ResultsTable` (or anything exposing
+        ``column(name, drop_none=...)`` and ``group_by(key)``).
+    value:
+        The column to summarize, e.g. ``"final_alpha"`` or
+        ``"compression_time"``.  ``None`` cells (budget-exhausted hitting
+        times) are dropped and reported in ``"missing"``.
+    by:
+        Optional grouping column, e.g. ``"lambda"`` for a sweep or ``"n"``
+        for a scaling study; ``None`` summarizes the whole table as one group.
+    level, resamples, seed:
+        Bootstrap confidence-interval parameters; the interval is only
+        attached when a group has at least two samples.
+
+    Returns
+    -------
+    One dict per group (insertion-ordered by first appearance) with keys
+    ``group``, ``count``, ``missing``, ``mean``, ``std_error``,
+    ``ci_low``/``ci_high`` (``None`` where undefined).
+    """
+    groups = {None: table} if by is None else table.group_by(by)
+    summaries: List[Dict[str, Any]] = []
+    for group_key, group in groups.items():
+        raw = group.column(value)
+        values = [float(v) for v in raw if v is not None]
+        missing = len(raw) - len(values)
+        summary: Dict[str, Any] = {
+            "group": group_key,
+            "count": len(values),
+            "missing": missing,
+            "mean": None,
+            "std_error": None,
+            "ci_low": None,
+            "ci_high": None,
+        }
+        if values:
+            data = np.asarray(values, dtype=float)
+            summary["mean"] = float(data.mean())
+            if data.size >= 2:
+                summary["std_error"] = float(data.std(ddof=1) / np.sqrt(data.size))
+                low, high = bootstrap_confidence_interval(
+                    data, level=level, resamples=resamples, seed=seed
+                )
+                summary["ci_low"] = low
+                summary["ci_high"] = high
+        summaries.append(summary)
+    return summaries

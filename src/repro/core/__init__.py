@@ -18,10 +18,14 @@ Algorithm M ships as two interchangeable engines:
   tests whose failure you want to be able to read.
 * :class:`~repro.core.fast_chain.FastCompressionChain` — the **fast
   engine**.  Dense occupancy grid, 256-entry move-legality tables
-  generated *from* the reference implementation, batched randomness, and
-  incrementally maintained ``e(sigma)``/``p(sigma)``.  Use it for scaling
-  sweeps and any run where throughput matters (it is well over an order
-  of magnitude faster at ``n = 1000``).
+  generated *from* the reference implementation of Properties 1 and 2,
+  batched randomness, and incrementally maintained scalar metrics: the
+  edge count ``e(sigma)`` absorbs each accepted move's delta, and the
+  perimeter follows from the Euler-formula identity
+  ``p = 3n - 3 - e + 3h`` (with ``h = 0`` once the configuration is
+  hole-free, which Lemma 3.2 makes permanent).  Use it for scaling sweeps
+  and any run where throughput matters (well over an order of magnitude
+  faster at ``n = 1000``).
 
 **Equivalence guarantee:** both engines consume randomness through the
 shared :class:`repro.rng.BatchedMoveDraws` protocol, so for equal seeds

@@ -21,6 +21,40 @@ Both properties are symmetric in ``l`` and ``l'``, which is what makes the
 chain's moves reversible (Lemma 3.9).  The moving particle itself is never
 counted as a neighbor: callers pass the full occupied node set and the
 functions exclude ``l`` and ``l'`` from every neighborhood.
+
+These checks are evaluated in two places that must agree: literally, per
+proposal, by the reference engine, and once per 8-bit ring mask when the
+fast engine generates its 256-entry move tables
+(:func:`repro.core.fast_chain.move_tables`) — together with the perimeter
+identity ``p = 3n - 3 - e + 3h`` they are the entire local theory the
+engines rely on.  The doctests below are the executable spec for the
+canonical small cases; they run in the ``pytest --doctest-modules``
+documentation lane (see ``pyproject.toml``) and in tier-1 via
+``tests/test_doctests.py``.
+
+Examples
+--------
+At the end of a line of three particles, sliding the end particle around
+its neighbor keeps the configuration connected (Property 1 holds: the
+single common neighbor ``(1, 0)`` anchors the occupied ring), while
+detaching it outright fails both properties:
+
+>>> line3 = {(0, 0), (1, 0), (2, 0)}
+>>> common_occupied_neighbors(line3, (0, 0), (0, 1))
+((1, 0),)
+>>> satisfies_property_1(line3, (0, 0), (0, 1))
+True
+>>> satisfies_either_property(line3, (0, 0), (-1, 0))
+False
+
+Property 2 covers the ``|S| = 0`` case — bridging two groups that share no
+common neighbor with the move edge, each group internally connected:
+
+>>> occupied = {(-1, 0), (0, 0), (1, 1)}
+>>> satisfies_property_1(occupied, (0, 0), (0, 1))
+False
+>>> satisfies_property_2(occupied, (0, 0), (0, 1))
+True
 """
 
 from __future__ import annotations
@@ -50,7 +84,12 @@ def joint_neighborhood(source: Node, target: Node) -> Tuple[Node, ...]:
     The union of the two hexagonal neighborhoods minus the endpoints forms
     an eight-node cycle around the edge; consecutive nodes in the returned
     tuple are lattice-adjacent, which makes connectivity checks along the
-    ring straightforward.
+    ring straightforward.  The fast engine packs the occupancy of exactly
+    this ring, in exactly this order, into the 8-bit index of its move
+    tables.
+
+    >>> joint_neighborhood((0, 0), (1, 0))
+    ((0, 1), (-1, 1), (-1, 0), (0, -1), (1, -1), (2, -1), (2, 0), (1, 1))
     """
     from repro.lattice.triangular import add, rotate_ccw, subtract
 

@@ -5,8 +5,11 @@ from repro.io.serialization import (
     configuration_to_json,
     load_configuration,
     load_experiment_record,
+    load_json,
     save_configuration,
     save_experiment_record,
+    save_json,
+    trace_from_json,
     trace_to_json,
 )
 
@@ -15,7 +18,10 @@ __all__ = [
     "configuration_to_json",
     "load_configuration",
     "load_experiment_record",
+    "load_json",
     "save_configuration",
     "save_experiment_record",
+    "save_json",
+    "trace_from_json",
     "trace_to_json",
 ]

@@ -3,6 +3,11 @@
 The formats are deliberately plain (lists and dicts of built-in types) so
 that experiment output can be archived, diffed and consumed by external
 tooling without importing this package.
+
+:func:`save_json`/:func:`load_json` are the shared file-level primitives:
+every document the library writes (experiment records, ensemble checkpoint
+entries from :mod:`repro.runtime.checkpoint`, trace archives) goes through
+them so I/O failures surface uniformly as :class:`SerializationError`.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from pathlib import Path
 from typing import Any, Dict, Union
 
 from repro.analysis.experiments import ExperimentRecord
-from repro.core.compression import CompressionTrace
+from repro.core.compression import CompressionTrace, TracePoint
 from repro.errors import SerializationError
 from repro.lattice.configuration import ParticleConfiguration
 
@@ -21,6 +26,38 @@ PathLike = Union[str, Path]
 
 #: Format version embedded in every document for forward compatibility.
 FORMAT_VERSION = 1
+
+
+def save_json(payload: Dict[str, Any], path: PathLike) -> Path:
+    """Write a JSON-compatible dict to ``path``; returns the path.
+
+    The write goes through a same-directory temporary file followed by an
+    atomic rename, so a reader (e.g. checkpoint resume after an interrupt)
+    never observes a half-written document.  Non-JSON-serializable values
+    raise :class:`SerializationError` rather than being silently coerced —
+    a document that cannot round-trip must fail at write time, not on a
+    later resume.
+    """
+    output = Path(path)
+    try:
+        text = json.dumps(payload, indent=2)
+        temporary = output.with_name(output.name + ".tmp")
+        temporary.write_text(text, encoding="utf-8")
+        temporary.replace(output)
+    except (OSError, TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot write JSON document to {path}: {exc}") from exc
+    return output
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON document written by :func:`save_json` (or compatible tooling)."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read JSON document from {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"expected a JSON object in {path}, got {type(payload).__name__}")
+    return payload
 
 
 def configuration_to_json(configuration: ParticleConfiguration) -> Dict[str, Any]:
@@ -76,6 +113,28 @@ def trace_to_json(trace: CompressionTrace) -> Dict[str, Any]:
     }
 
 
+def trace_from_json(payload: Dict[str, Any]) -> CompressionTrace:
+    """Deserialize a compression trace produced by :func:`trace_to_json`."""
+    try:
+        if payload.get("kind") != "compression_trace":
+            raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
+        trace = CompressionTrace(n=int(payload["n"]), lam=float(payload["lambda"]))
+        for point in payload["points"]:
+            trace.points.append(
+                TracePoint(
+                    iteration=int(point["iteration"]),
+                    perimeter=int(point["perimeter"]),
+                    edges=int(point["edges"]),
+                    holes=int(point["holes"]),
+                    alpha=float(point["alpha"]),
+                    beta=float(point["beta"]),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed trace payload: {exc}") from exc
+    return trace
+
+
 def save_experiment_record(record: ExperimentRecord, path: PathLike) -> Path:
     """Write an experiment record to a JSON file; returns the path."""
     payload = {
@@ -83,9 +142,7 @@ def save_experiment_record(record: ExperimentRecord, path: PathLike) -> Path:
         "kind": "experiment_record",
         **asdict(record),
     }
-    output = Path(path)
-    output.write_text(json.dumps(payload, indent=2, default=str), encoding="utf-8")
-    return output
+    return save_json(payload, path)
 
 
 def load_experiment_record(path: PathLike) -> ExperimentRecord:

@@ -1,0 +1,71 @@
+"""Parallel ensemble execution for Algorithm M chains.
+
+The runtime subsystem is the single entry point for running *many*
+independent chains — lambda sweeps across the compression/expansion phase
+boundary, replica ensembles for mixing estimates, and n-scaling studies:
+
+* :mod:`repro.runtime.jobs` — picklable job/result descriptions and the
+  standard ensemble builders;
+* :mod:`repro.runtime.runner` — serial or multiprocessing execution with
+  submission-order determinism (a 4-worker run is bit-identical per seed
+  to a serial run);
+* :mod:`repro.runtime.results` — the shared per-chain results table
+  consumed by :mod:`repro.analysis.statistics`;
+* :mod:`repro.runtime.checkpoint` — atomic per-job persistence so long
+  ensembles survive interruption and resume exactly.
+
+Quickstart::
+
+    from repro.runtime import lambda_sweep_jobs, run_ensemble
+
+    jobs = lambda_sweep_jobs(n=100, lambdas=[2.0, 4.0, 6.0],
+                             iterations=200_000, seed=0, replicas=4)
+    ensemble = run_ensemble(jobs, workers=4, checkpoint="sweep_ckpt/")
+    print(ensemble.table.summary("final_alpha", by="lambda"))
+"""
+
+from repro.runtime.jobs import (
+    JOB_KINDS,
+    ChainJob,
+    ChainResult,
+    lambda_sweep_jobs,
+    replica_jobs,
+    run_job,
+    scaling_time_jobs,
+)
+from repro.runtime.results import ResultsTable
+from repro.runtime.checkpoint import (
+    EnsembleCheckpoint,
+    chain_result_from_json,
+    chain_result_to_json,
+    job_from_json,
+    job_to_json,
+)
+from repro.runtime.runner import (
+    EnsembleResult,
+    EnsembleRunner,
+    default_workers,
+    run_ensemble,
+    usable_cores,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "ChainJob",
+    "ChainResult",
+    "lambda_sweep_jobs",
+    "replica_jobs",
+    "run_job",
+    "scaling_time_jobs",
+    "ResultsTable",
+    "EnsembleCheckpoint",
+    "chain_result_from_json",
+    "chain_result_to_json",
+    "job_from_json",
+    "job_to_json",
+    "EnsembleResult",
+    "EnsembleRunner",
+    "default_workers",
+    "run_ensemble",
+    "usable_cores",
+]

@@ -1,0 +1,151 @@
+"""Checkpoint/resume for long ensemble runs.
+
+An :class:`EnsembleCheckpoint` is a directory with one JSON document per
+completed job, named ``<job_id>.json`` and written atomically through
+:func:`repro.io.serialization.save_json` the moment the job finishes.
+Killing an ensemble mid-run therefore loses at most the jobs currently in
+flight; re-running the same ensemble against the same directory loads the
+finished results and executes only the remainder.
+
+Resume safety comes from fingerprinting: every document embeds the full
+JSON form of the job that produced it, and on load the stored job must
+match the submitted job exactly (seed included).  A stale checkpoint
+directory — different sweep, changed iteration counts, reseeded ensemble —
+fails loudly with :class:`~repro.errors.SerializationError` instead of
+silently mixing incompatible results.  Because per-job results are a pure
+function of the job (see :func:`repro.runtime.jobs.run_job`), a resumed
+ensemble is bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.io.serialization import (
+    FORMAT_VERSION,
+    load_json,
+    save_json,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.runtime.jobs import ChainJob, ChainResult
+
+PathLike = Union[str, Path]
+
+
+def job_to_json(job: ChainJob) -> Dict[str, Any]:
+    """Serialize a job to its canonical JSON form (the checkpoint fingerprint).
+
+    The payload is round-tripped through the JSON encoder so that values
+    which JSON normalizes (tuples to lists — ``initial_nodes``, but also
+    tuple-valued user metadata) compare equal to what a checkpoint document
+    stores; otherwise resuming would spuriously refuse its own output.
+    Non-JSON-serializable metadata raises :class:`SerializationError` here,
+    at submission time, rather than corrupting a checkpoint.
+    """
+    try:
+        return json.loads(json.dumps(asdict(job)))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"job {job.job_id!r} is not JSON-serializable "
+            f"(metadata must be plain JSON types): {exc}"
+        ) from exc
+
+
+def job_from_json(payload: Dict[str, Any]) -> ChainJob:
+    """Rebuild a job from :func:`job_to_json` output."""
+    try:
+        data = dict(payload)
+        if data.get("initial_nodes") is not None:
+            data["initial_nodes"] = tuple((int(x), int(y)) for x, y in data["initial_nodes"])
+        return ChainJob(**data)
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        raise SerializationError(f"malformed job payload: {exc}") from exc
+
+
+def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
+    """Serialize a chain result (job fingerprint included) to plain JSON."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "chain_result",
+        "job": job_to_json(result.job),
+        "trace": trace_to_json(result.trace),
+        "iterations": result.iterations,
+        "accepted_moves": result.accepted_moves,
+        "rejection_counts": dict(result.rejection_counts),
+        "compression_time": result.compression_time,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
+    """Deserialize a chain result produced by :func:`chain_result_to_json`."""
+    try:
+        if payload.get("kind") != "chain_result":
+            raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
+        compression_time = payload["compression_time"]
+        return ChainResult(
+            job=job_from_json(payload["job"]),
+            trace=trace_from_json(payload["trace"]),
+            iterations=int(payload["iterations"]),
+            accepted_moves=int(payload["accepted_moves"]),
+            rejection_counts={k: int(v) for k, v in payload["rejection_counts"].items()},
+            compression_time=None if compression_time is None else int(compression_time),
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        raise SerializationError(f"malformed chain result payload: {exc}") from exc
+
+
+class EnsembleCheckpoint:
+    """Persist completed ensemble jobs in a directory, one JSON file per job."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, job_id: str) -> Path:
+        """The document path for a job id."""
+        return self.directory / f"{job_id}.json"
+
+    def store(self, result: ChainResult) -> Path:
+        """Atomically persist one completed job."""
+        return save_json(chain_result_to_json(result), self.path_for(result.job.job_id))
+
+    def load(self, job: ChainJob) -> Optional[ChainResult]:
+        """Load the stored result for ``job``, or ``None`` if not yet completed.
+
+        Raises :class:`SerializationError` when a document exists but was
+        produced by a *different* job with the same id — the signature of a
+        stale or foreign checkpoint directory.
+        """
+        path = self.path_for(job.job_id)
+        if not path.exists():
+            return None
+        payload = load_json(path)
+        result = chain_result_from_json(payload)
+        if payload["job"] != job_to_json(job):
+            raise SerializationError(
+                f"checkpoint entry {path} was produced by a different job "
+                f"specification than the one submitted; refusing to resume "
+                f"from a stale checkpoint (delete the directory to start over)"
+            )
+        result.from_checkpoint = True
+        return result
+
+    def load_completed(self, jobs: Sequence[ChainJob]) -> Dict[str, ChainResult]:
+        """Load every already-completed job of an ensemble, keyed by job id."""
+        completed: Dict[str, ChainResult] = {}
+        for job in jobs:
+            result = self.load(job)
+            if result is not None:
+                completed[job.job_id] = result
+        return completed
+
+    def completed_ids(self) -> List[str]:
+        """Ids of all jobs with a stored document, sorted."""
+        return sorted(path.stem for path in self.directory.glob("*.json"))

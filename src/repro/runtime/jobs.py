@@ -1,0 +1,345 @@
+"""Job descriptions for the parallel ensemble runner.
+
+A :class:`ChainJob` is a complete, picklable, JSON-serializable description
+of one independent Algorithm M run: the starting configuration (a line of
+``n`` particles or an explicit node set), the bias ``lambda``, the engine,
+a plain integer seed, and what to measure (a fixed-iteration trace or the
+first hitting time of alpha-compression).  Because a job carries everything
+needed to execute it, :func:`run_job` is a pure function — running a job in
+a worker process, in-process, or after a checkpoint resume produces the
+same :class:`ChainResult`, bit for bit.
+
+Seeds are plain integers by design (see :func:`repro.rng.spawn_seeds`):
+each job builds its own :class:`repro.rng.BatchedMoveDraws` tape from its
+seed, so trajectories are a function of the ``(seed, replica)`` pair only,
+never of scheduling.  The builders at the bottom of the module
+(:func:`lambda_sweep_jobs`, :func:`scaling_time_jobs`, :func:`replica_jobs`)
+encode the repo's standard ensembles — lambda sweeps across the phase
+boundary, n-scaling studies, and replica ensembles for mixing estimates.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compression import ENGINES, CompressionSimulation, CompressionTrace
+from repro.errors import ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.shapes import line as line_shape
+from repro.rng import spawn_seeds
+
+#: The measurement kinds a job can request.
+JOB_KINDS = ("trace", "compression_time")
+
+#: Allowed characters in a job id (ids double as checkpoint file names).
+_JOB_ID_PATTERN = re.compile(r"^[A-Za-z0-9._\-]+$")
+
+
+def _number_label(value: float) -> str:
+    """A job-id-safe compact rendering of a number (no ``+`` from ``%g``)."""
+    return f"{value:g}".replace("+", "")
+
+
+@dataclass(frozen=True)
+class ChainJob:
+    """One independent chain run inside an ensemble.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within the ensemble; also the checkpoint file
+        stem, hence restricted to ``[A-Za-z0-9._-]``.
+    lam:
+        Bias parameter ``lambda > 0``.
+    seed:
+        Plain integer seed for the job's own draw tape (``None`` draws OS
+        entropy and forfeits reproducibility/resumability guarantees).
+    n:
+        Build the paper's standard line start of ``n`` particles.  Mutually
+        exclusive with ``initial_nodes``.
+    initial_nodes:
+        Explicit starting configuration as a tuple of ``(x, y)`` nodes.
+    engine:
+        Algorithm M engine, ``"fast"`` (default) or ``"reference"``.
+    kind:
+        ``"trace"`` runs ``iterations`` steps recording a metrics trace;
+        ``"compression_time"`` runs until alpha-compression (or budget).
+    iterations:
+        Iteration count for ``kind="trace"``.
+    record_every:
+        Trace sampling interval (defaults to ``iterations // 100``).
+    alpha:
+        Compression target for ``kind="compression_time"`` (must exceed 1).
+    max_iterations:
+        Iteration budget for ``kind="compression_time"``.
+    check_every:
+        Compression-check granularity for ``kind="compression_time"``.
+    metadata:
+        Free-form JSON-able annotations (replica index, sweep position,
+        ...); flattened into the ensemble results table rows.
+    """
+
+    job_id: str
+    lam: float
+    seed: Optional[int]
+    n: Optional[int] = None
+    initial_nodes: Optional[Tuple[Tuple[int, int], ...]] = None
+    engine: str = "fast"
+    kind: str = "trace"
+    iterations: int = 0
+    record_every: Optional[int] = None
+    alpha: Optional[float] = None
+    max_iterations: Optional[int] = None
+    check_every: int = 2000
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _JOB_ID_PATTERN.match(self.job_id):
+            raise ConfigurationError(
+                f"job_id must match [A-Za-z0-9._-]+ (it names checkpoint files), "
+                f"got {self.job_id!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected one of {sorted(ENGINES)}"
+            )
+        if self.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if (self.n is None) == (self.initial_nodes is None):
+            raise ConfigurationError("exactly one of n / initial_nodes must be given")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"job seeds must be plain integers (picklable, serializable), "
+                f"got {type(self.seed).__name__}"
+            )
+        if self.kind == "trace":
+            if self.iterations < 0:
+                raise ConfigurationError(
+                    f"iterations must be non-negative, got {self.iterations}"
+                )
+        else:
+            if self.alpha is None or self.alpha <= 1:
+                raise ConfigurationError("compression_time jobs need alpha > 1")
+            if self.max_iterations is None or self.max_iterations < 0:
+                raise ConfigurationError(
+                    "compression_time jobs need a non-negative max_iterations budget"
+                )
+
+    def build_initial(self) -> ParticleConfiguration:
+        """Materialize the starting configuration described by the job."""
+        if self.initial_nodes is not None:
+            return ParticleConfiguration(tuple(map(tuple, self.initial_nodes)))
+        return line_shape(self.n)
+
+
+@dataclass
+class ChainResult:
+    """The outcome of executing one :class:`ChainJob`.
+
+    Everything except ``wall_seconds`` (and the bookkeeping flag
+    ``from_checkpoint``) is a deterministic function of the job, which is
+    what the ensemble determinism tests assert.
+    """
+
+    job: ChainJob
+    trace: CompressionTrace
+    iterations: int
+    accepted_moves: int
+    rejection_counts: Dict[str, int]
+    compression_time: Optional[int] = None
+    wall_seconds: float = 0.0
+    from_checkpoint: bool = False
+
+    def final_point(self):
+        """The last recorded trace sample."""
+        return self.trace.final()
+
+    def row(self) -> Dict[str, Any]:
+        """Flatten the result into one results-table row (plain scalars only)."""
+        job = self.job
+        final = self.trace.final()
+        first = self.trace.points[0]
+        row: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "engine": job.engine,
+            "n": self.trace.n,
+            "lambda": job.lam,
+            "seed": job.seed,
+            "iterations": self.iterations,
+            "accepted_moves": self.accepted_moves,
+            "acceptance_rate": (
+                self.accepted_moves / self.iterations if self.iterations else 0.0
+            ),
+            "initial_perimeter": first.perimeter,
+            "final_perimeter": final.perimeter,
+            "final_edges": final.edges,
+            "final_holes": final.holes,
+            "final_alpha": final.alpha,
+            "final_beta": final.beta,
+            "compression_time": self.compression_time,
+            "wall_seconds": self.wall_seconds,
+        }
+        for key, value in job.metadata.items():
+            row.setdefault(key, value)
+        return row
+
+
+def run_job(job: ChainJob) -> ChainResult:
+    """Execute one job to completion; the worker entry point of the runner.
+
+    Pure in the sense that matters for ensembles: the returned trace,
+    counters and compression time depend only on the job (its seed
+    included), so serial and multiprocessing execution agree exactly.
+    """
+    started = time.perf_counter()
+    simulation = CompressionSimulation(
+        job.build_initial(), lam=job.lam, seed=job.seed, engine=job.engine
+    )
+    compression_time: Optional[int] = None
+    if job.kind == "trace":
+        simulation.run(job.iterations, record_every=job.record_every)
+    else:
+        compression_time = simulation.run_until_compressed(
+            alpha=job.alpha,
+            max_iterations=job.max_iterations,
+            check_every=job.check_every,
+        )
+    chain = simulation.chain
+    return ChainResult(
+        job=job,
+        trace=simulation.trace,
+        iterations=chain.iterations,
+        accepted_moves=chain.accepted_moves,
+        rejection_counts=chain.rejection_counts,
+        compression_time=compression_time,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Standard ensemble builders
+# ---------------------------------------------------------------------- #
+def lambda_sweep_jobs(
+    n: int,
+    lambdas: Sequence[float],
+    iterations: int,
+    seed: Optional[int] = 0,
+    engine: str = "fast",
+    replicas: int = 1,
+    record_every: Optional[int] = None,
+) -> List[ChainJob]:
+    """Jobs for a lambda sweep: ``replicas`` independent chains per lambda.
+
+    Seeds are spawned once from ``seed`` and indexed replica-major
+    (``seeds[replica * len(lambdas) + i]``), so the job list — and
+    therefore every trajectory — is a pure function of the arguments,
+    independent of how the jobs are later scheduled; and because
+    :func:`repro.rng.spawn_seeds` prefixes are stable, *raising*
+    ``replicas`` extends the ensemble without reseeding the jobs that
+    already exist (checkpointed sweeps keep their completed chains).
+    Job ids embed the sweep position (``i``) as well as the lambda value,
+    so lambdas that agree to the printed precision (a fine-grained probe
+    of the critical window) still get distinct ids.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be at least 1, got {replicas}")
+    seeds = spawn_seeds(seed, len(lambdas) * replicas)
+    jobs: List[ChainJob] = []
+    for i, lam in enumerate(lambdas):
+        for replica in range(replicas):
+            jobs.append(
+                ChainJob(
+                    job_id=f"sweep-i{i}-lam{_number_label(lam)}-r{replica}",
+                    lam=float(lam),
+                    seed=seeds[replica * len(lambdas) + i],
+                    n=n,
+                    engine=engine,
+                    kind="trace",
+                    iterations=iterations,
+                    record_every=record_every,
+                    metadata={"lambda_index": i, "replica": replica},
+                )
+            )
+    return jobs
+
+
+def scaling_time_jobs(
+    sizes: Sequence[int],
+    lam: float,
+    alpha: float,
+    repetitions: int,
+    budget_factor: float,
+    seed: Optional[int] = 0,
+    engine: str = "fast",
+    check_every: int = 2000,
+) -> List[ChainJob]:
+    """Jobs for an n-scaling study: compression hitting times per size.
+
+    Each job's iteration budget is ``budget_factor * n**3``, matching the
+    conjectured ``Theta(n^3)``-to-``O(n^4)`` scaling of Section 3.7.
+    Seeds are indexed repetition-major (like :func:`lambda_sweep_jobs`),
+    so raising ``repetitions`` extends a checkpointed study without
+    reseeding its completed measurements.
+    """
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be at least 1, got {repetitions}")
+    seeds = spawn_seeds(seed, len(sizes) * repetitions)
+    jobs: List[ChainJob] = []
+    for i, n in enumerate(sizes):
+        for repetition in range(repetitions):
+            jobs.append(
+                ChainJob(
+                    job_id=f"scale-i{i}-n{n}-r{repetition}",
+                    lam=float(lam),
+                    seed=seeds[repetition * len(sizes) + i],
+                    n=int(n),
+                    engine=engine,
+                    kind="compression_time",
+                    alpha=float(alpha),
+                    max_iterations=int(budget_factor * n**3),
+                    check_every=check_every,
+                    metadata={"size_index": i, "replica": repetition},
+                )
+            )
+    return jobs
+
+
+def replica_jobs(
+    n: int,
+    lam: float,
+    iterations: int,
+    replicas: int,
+    seed: Optional[int] = 0,
+    engine: str = "fast",
+    record_every: Optional[int] = None,
+) -> List[ChainJob]:
+    """Jobs for a replica ensemble at fixed ``(n, lambda)``.
+
+    The workhorse of mixing/convergence estimation: independent replicas
+    give i.i.d. samples of trace observables, so cross-replica spread (see
+    :func:`repro.analysis.statistics.ensemble_summary`) measures how far
+    the chains are from agreeing on stationarity.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be at least 1, got {replicas}")
+    seeds = spawn_seeds(seed, replicas)
+    return [
+        ChainJob(
+            job_id=f"replica-lam{_number_label(lam)}-r{replica}",
+            lam=float(lam),
+            seed=seeds[replica],
+            n=n,
+            engine=engine,
+            kind="trace",
+            iterations=iterations,
+            record_every=record_every,
+            metadata={"replica": replica},
+        )
+        for replica in range(replicas)
+    ]

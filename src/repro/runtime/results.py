@@ -1,0 +1,134 @@
+"""The shared results table an ensemble run streams into.
+
+One row per chain, flat scalar columns only (see
+:meth:`repro.runtime.jobs.ChainResult.row`), so the table can be filtered,
+grouped, serialized to JSON, and consumed directly by the statistics
+helpers in :mod:`repro.analysis.statistics` — in particular
+:func:`~repro.analysis.statistics.ensemble_summary`, which turns replica
+columns into means, standard errors and bootstrap confidence intervals.
+
+Row order follows job submission order regardless of which worker finished
+first, so two runs of the same ensemble produce byte-identical tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+
+
+class ResultsTable:
+    """An ordered list of flat per-chain result rows with split/apply helpers."""
+
+    def __init__(self, rows: Optional[Iterable[Dict[str, Any]]] = None) -> None:
+        self.rows: List[Dict[str, Any]] = [dict(row) for row in rows] if rows else []
+
+    @classmethod
+    def from_results(cls, results: Sequence[Any]) -> "ResultsTable":
+        """Build a table from :class:`~repro.runtime.jobs.ChainResult` objects."""
+        table = cls()
+        for result in results:
+            table.add_result(result)
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    def add_result(self, result: Any) -> Dict[str, Any]:
+        """Append one chain result as a row; returns the row."""
+        row = result.row()
+        self.rows.append(row)
+        return row
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append a pre-built row."""
+        self.rows.append(dict(row))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    @property
+    def columns(self) -> List[str]:
+        """All column names appearing in any row, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def column(self, name: str, *, drop_none: bool = False) -> List[Any]:
+        """The values of one column across all rows (missing cells read as ``None``)."""
+        values = [row.get(name) for row in self.rows]
+        if drop_none:
+            values = [value for value in values if value is not None]
+        return values
+
+    # ------------------------------------------------------------------ #
+    # Split / apply
+    # ------------------------------------------------------------------ #
+    def where(self, **equalities: Any) -> "ResultsTable":
+        """Rows whose cells equal every given ``column=value`` pair."""
+        return ResultsTable(
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in equalities.items())
+        )
+
+    def group_by(self, key: str) -> Dict[Any, "ResultsTable"]:
+        """Partition the table by a column, preserving row order within groups."""
+        groups: Dict[Any, ResultsTable] = {}
+        for row in self.rows:
+            groups.setdefault(row.get(key), ResultsTable()).append(row)
+        return groups
+
+    def mean(self, name: str) -> float:
+        """Arithmetic mean of a numeric column (``None`` cells excluded)."""
+        values = [value for value in self.column(name) if value is not None]
+        if not values:
+            raise AnalysisError(f"column {name!r} has no numeric values to average")
+        if any(isinstance(value, float) and math.isnan(value) for value in values):
+            return float("nan")
+        return float(sum(values) / len(values))
+
+    def summary(
+        self,
+        value: str,
+        by: Optional[str] = None,
+        level: float = 0.95,
+        resamples: int = 2000,
+        seed: Optional[int] = 0,
+    ) -> List[Dict[str, Any]]:
+        """Per-group mean/spread summary of a column.
+
+        Delegates to :func:`repro.analysis.statistics.ensemble_summary`
+        (imported lazily: the analysis package also consumes the runtime
+        package, and the late import keeps the dependency one-way at
+        module-load time).
+        """
+        from repro.analysis.statistics import ensemble_summary
+
+        return ensemble_summary(
+            self, value, by=by, level=level, resamples=resamples, seed=seed
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interchange
+    # ------------------------------------------------------------------ #
+    def to_json(self) -> Dict[str, Any]:
+        """Serialize to a plain JSON-compatible dict."""
+        return {"kind": "results_table", "rows": [dict(row) for row in self.rows]}
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "ResultsTable":
+        """Rebuild a table serialized by :meth:`to_json`."""
+        if payload.get("kind") != "results_table":
+            raise AnalysisError(f"unexpected document kind {payload.get('kind')!r}")
+        return cls(payload.get("rows", []))

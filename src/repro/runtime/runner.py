@@ -1,0 +1,186 @@
+"""The parallel ensemble runner: many independent chains, one entry point.
+
+:class:`EnsembleRunner` executes a list of :class:`~repro.runtime.jobs.ChainJob`
+descriptions either in-process (``workers=1``) or on a ``multiprocessing``
+pool.  Three properties define the design:
+
+* **Determinism.**  Every job carries its own plain-integer seed and spawns
+  its own :class:`repro.rng.BatchedMoveDraws` tape inside the worker, so a
+  chain's trajectory is a pure function of its job.  Results are re-ordered
+  to submission order before they are returned, so a 4-worker run returns
+  byte-identical per-seed results — traces, counters, tables — to a serial
+  run of the same ensemble (enforced by ``tests/runtime/test_ensemble.py``).
+* **Streaming.**  Completed results are delivered as they finish: persisted
+  to the optional :class:`~repro.runtime.checkpoint.EnsembleCheckpoint` and
+  handed to the optional ``on_result`` callback, then folded into the
+  shared :class:`~repro.runtime.results.ResultsTable` in submission order.
+* **Resumability.**  With a checkpoint directory, already-completed jobs
+  are loaded (after fingerprint validation) instead of re-run, so a killed
+  lambda sweep continues where it left off.
+
+The module-level helpers :func:`run_ensemble` (and the job builders in
+:mod:`repro.runtime.jobs`) are the intended user surface; analysis-layer
+sweeps (:func:`repro.analysis.experiments.run_lambda_sweep`,
+:func:`repro.analysis.convergence.scaling_study`) submit through here
+rather than hand-rolling loops.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.runtime.checkpoint import EnsembleCheckpoint, PathLike
+from repro.runtime.jobs import ChainJob, ChainResult, run_job
+from repro.runtime.results import ResultsTable
+
+
+def usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware, at least 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def default_workers(limit: int = 8) -> int:
+    """A sensible worker count for this machine: usable cores, capped."""
+    return max(1, min(limit, usable_cores()))
+
+
+@dataclass
+class EnsembleResult:
+    """Everything an ensemble run produced, in submission order."""
+
+    jobs: List[ChainJob]
+    results: List[ChainResult]
+    workers: int
+    wall_seconds: float
+    loaded_from_checkpoint: int = 0
+    table: ResultsTable = field(default_factory=ResultsTable)
+
+    def result_for(self, job_id: str) -> ChainResult:
+        """Look up one chain's result by job id."""
+        for result in self.results:
+            if result.job.job_id == job_id:
+                return result
+        raise KeyError(job_id)
+
+    @property
+    def executed(self) -> int:
+        """How many jobs actually ran (as opposed to resuming from checkpoint)."""
+        return len(self.results) - self.loaded_from_checkpoint
+
+
+class EnsembleRunner:
+    """Execute independent chain jobs serially or across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``1`` (default) runs in-process with no
+        multiprocessing at all.  Oversubscribing the machine is allowed but
+        pointless — use :func:`default_workers` to match the hardware.
+    checkpoint:
+        Optional checkpoint directory (or :class:`EnsembleCheckpoint`); see
+        :mod:`repro.runtime.checkpoint`.
+    start_method:
+        Optional ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); defaults to the platform default.  Results are
+        identical under any of them — that is the point of the design.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        checkpoint: Optional[Union[PathLike, EnsembleCheckpoint]] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        self.workers = workers
+        self.start_method = start_method
+        if checkpoint is None or isinstance(checkpoint, EnsembleCheckpoint):
+            self.checkpoint = checkpoint
+        else:
+            self.checkpoint = EnsembleCheckpoint(checkpoint)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        jobs: Sequence[ChainJob],
+        on_result: Optional[Callable[[ChainResult], None]] = None,
+    ) -> EnsembleResult:
+        """Run an ensemble to completion and return ordered results.
+
+        ``on_result`` is called once per job as its result becomes
+        available (completion order, not submission order) — including for
+        results restored from the checkpoint.
+        """
+        jobs = list(jobs)
+        seen: Dict[str, ChainJob] = {}
+        for job in jobs:
+            if job.job_id in seen:
+                raise ConfigurationError(f"duplicate job_id {job.job_id!r} in ensemble")
+            seen[job.job_id] = job
+
+        started = time.perf_counter()
+        by_id: Dict[str, ChainResult] = {}
+        if self.checkpoint is not None:
+            by_id.update(self.checkpoint.load_completed(jobs))
+            if on_result is not None:
+                for result in by_id.values():
+                    on_result(result)
+        pending = [job for job in jobs if job.job_id not in by_id]
+
+        for result in self._execute(pending):
+            if self.checkpoint is not None:
+                self.checkpoint.store(result)
+            by_id[result.job.job_id] = result
+            if on_result is not None:
+                on_result(result)
+
+        ordered = [by_id[job.job_id] for job in jobs]
+        ensemble = EnsembleResult(
+            jobs=jobs,
+            results=ordered,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started,
+            loaded_from_checkpoint=sum(1 for r in ordered if r.from_checkpoint),
+            table=ResultsTable.from_results(ordered),
+        )
+        return ensemble
+
+    def _execute(self, pending: Sequence[ChainJob]):
+        """Yield results for pending jobs as they complete."""
+        if self.workers == 1 or len(pending) <= 1:
+            for job in pending:
+                yield run_job(job)
+            return
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else multiprocessing.get_context()
+        )
+        workers = min(self.workers, len(pending))
+        with context.Pool(processes=workers) as pool:
+            for result in pool.imap_unordered(run_job, pending):
+                yield result
+
+
+def run_ensemble(
+    jobs: Sequence[ChainJob],
+    workers: int = 1,
+    checkpoint: Optional[Union[PathLike, EnsembleCheckpoint]] = None,
+    on_result: Optional[Callable[[ChainResult], None]] = None,
+    start_method: Optional[str] = None,
+) -> EnsembleResult:
+    """One-call convenience wrapper around :class:`EnsembleRunner`."""
+    runner = EnsembleRunner(workers=workers, checkpoint=checkpoint, start_method=start_method)
+    return runner.run(jobs, on_result=on_result)

@@ -1,0 +1,196 @@
+"""Tests for the parallel ensemble runner: jobs, determinism, results table."""
+
+import pytest
+
+from repro.core.compression import CompressionSimulation
+from repro.errors import AnalysisError, ConfigurationError
+from repro.runtime import (
+    ChainJob,
+    EnsembleRunner,
+    ResultsTable,
+    lambda_sweep_jobs,
+    replica_jobs,
+    run_ensemble,
+    run_job,
+    scaling_time_jobs,
+)
+from repro.rng import spawn_seeds
+
+
+def small_sweep_jobs():
+    """A 4-point sweep x 2 replicas: 8 cheap jobs shared by several tests."""
+    return lambda_sweep_jobs(
+        n=20, lambdas=[1.5, 2.5, 4.0, 6.0], iterations=4000, seed=0, replicas=2
+    )
+
+
+class TestChainJob:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="bad id!", lam=4.0, seed=0, n=10)
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="a", lam=4.0, seed=0)  # neither n nor nodes
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="a", lam=4.0, seed=0, n=10, initial_nodes=((0, 0),))
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="a", lam=4.0, seed=0, n=10, engine="warp")
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="a", lam=4.0, seed=0, n=10, kind="nope")
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="a", lam=4.0, seed=0, n=10, kind="compression_time")
+        with pytest.raises(ConfigurationError):
+            ChainJob(job_id="a", lam=4.0, seed="zero", n=10)
+
+    def test_explicit_initial_nodes(self):
+        job = ChainJob(
+            job_id="tri",
+            lam=4.0,
+            seed=3,
+            initial_nodes=((0, 0), (1, 0), (0, 1)),
+            iterations=100,
+        )
+        result = run_job(job)
+        assert result.trace.n == 3
+        assert result.iterations == 100
+
+    def test_builders_are_deterministic(self):
+        assert small_sweep_jobs() == small_sweep_jobs()
+        first = scaling_time_jobs([10, 14], lam=6.0, alpha=1.8, repetitions=2, budget_factor=100)
+        assert first == scaling_time_jobs(
+            [10, 14], lam=6.0, alpha=1.8, repetitions=2, budget_factor=100
+        )
+        replicas = replica_jobs(n=15, lam=4.0, iterations=500, replicas=3, seed=9)
+        assert [job.seed for job in replicas] == spawn_seeds(9, 3)
+        assert len({job.job_id for job in replicas}) == 3
+
+    def test_job_matches_direct_simulation(self):
+        """A job's trace is exactly what CompressionSimulation produces for its seed."""
+        job = small_sweep_jobs()[0]
+        result = run_job(job)
+        simulation = CompressionSimulation.from_line(
+            job.n, lam=job.lam, seed=job.seed, engine=job.engine
+        )
+        simulation.run(job.iterations, record_every=job.record_every)
+        assert result.trace.points == simulation.trace.points
+        assert result.accepted_moves == simulation.chain.accepted_moves
+
+
+class TestEnsembleDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        """4 workers, same jobs: per-seed traces and counters must be identical."""
+        jobs = small_sweep_jobs()
+        serial = run_ensemble(jobs, workers=1)
+        parallel = run_ensemble(jobs, workers=4)
+        assert [r.job.job_id for r in serial.results] == [r.job.job_id for r in parallel.results]
+        for s, p in zip(serial.results, parallel.results):
+            assert s.trace.points == p.trace.points
+            assert s.accepted_moves == p.accepted_moves
+            assert s.rejection_counts == p.rejection_counts
+            assert s.compression_time == p.compression_time
+        # Tables agree on everything except wall-clock timings.
+        for srow, prow in zip(serial.table.rows, parallel.table.rows):
+            srow = {k: v for k, v in srow.items() if k != "wall_seconds"}
+            prow = {k: v for k, v in prow.items() if k != "wall_seconds"}
+            assert srow == prow
+
+    def test_compression_time_jobs_deterministic_across_workers(self):
+        jobs = scaling_time_jobs(
+            [10, 12], lam=6.0, alpha=1.8, repetitions=2, budget_factor=300, seed=5
+        )
+        serial = run_ensemble(jobs, workers=1)
+        parallel = run_ensemble(jobs, workers=4)
+        assert serial.table.column("compression_time") == parallel.table.column(
+            "compression_time"
+        )
+
+    def test_duplicate_job_ids_rejected(self):
+        job = small_sweep_jobs()[0]
+        with pytest.raises(ConfigurationError):
+            run_ensemble([job, job])
+
+    def test_worker_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleRunner(workers=0)
+
+    def test_on_result_streams_every_job(self):
+        jobs = small_sweep_jobs()[:3]
+        seen = []
+        run_ensemble(jobs, workers=2, on_result=lambda result: seen.append(result.job.job_id))
+        assert sorted(seen) == sorted(job.job_id for job in jobs)
+
+
+class TestResultsTable:
+    def test_table_shape_and_grouping(self):
+        jobs = small_sweep_jobs()
+        ensemble = run_ensemble(jobs)
+        table = ensemble.table
+        assert len(table) == len(jobs)
+        assert set(table.column("lambda")) == {1.5, 2.5, 4.0, 6.0}
+        groups = table.group_by("lambda")
+        assert all(len(group) == 2 for group in groups.values())
+        filtered = table.where(**{"lambda": 4.0, "replica": 0})
+        assert len(filtered) == 1
+        assert filtered.rows[0]["job_id"] == "sweep-i2-lam4-r0"
+
+    def test_near_equal_lambdas_get_distinct_job_ids(self):
+        jobs = lambda_sweep_jobs(
+            n=10, lambdas=[2.17, 2.1700001, 2.0000001, 2.0], iterations=10, seed=0
+        )
+        assert len({job.job_id for job in jobs}) == len(jobs)
+
+    def test_raising_replicas_preserves_existing_seeds(self):
+        """Replica-major seed indexing: a grown ensemble keeps its old jobs."""
+        small = lambda_sweep_jobs(n=10, lambdas=[2.0, 4.0, 6.0], iterations=10, seed=0)
+        grown = lambda_sweep_jobs(
+            n=10, lambdas=[2.0, 4.0, 6.0], iterations=10, seed=0, replicas=3
+        )
+        by_id = {job.job_id: job for job in grown}
+        assert all(by_id[job.job_id] == job for job in small)
+        scale_small = scaling_time_jobs([10, 14], lam=6.0, alpha=1.8, repetitions=1, budget_factor=50)
+        scale_grown = scaling_time_jobs([10, 14], lam=6.0, alpha=1.8, repetitions=3, budget_factor=50)
+        grown_ids = {job.job_id: job for job in scale_grown}
+        assert all(grown_ids[job.job_id] == job for job in scale_small)
+
+    def test_extreme_lambdas_make_valid_job_ids(self):
+        """%g scientific notation must not leak '+' into id-pattern territory."""
+        jobs = lambda_sweep_jobs(n=10, lambdas=[1e6, 1e-7], iterations=10, seed=0)
+        assert [job.job_id for job in jobs] == ["sweep-i0-lam1e06-r0", "sweep-i1-lam1e-07-r0"]
+        assert replica_jobs(n=10, lam=2e6, iterations=10, replicas=1)[0].job_id == (
+            "replica-lam2e06-r0"
+        )
+
+    def test_sweep_physics_in_table(self):
+        """Large lambda compresses: the table must show the trend end to end."""
+        jobs = lambda_sweep_jobs(n=25, lambdas=[1.5, 6.0], iterations=30_000, seed=2)
+        table = run_ensemble(jobs, workers=2).table
+        expanded = table.where(**{"lambda": 1.5}).mean("final_perimeter")
+        compressed = table.where(**{"lambda": 6.0}).mean("final_perimeter")
+        assert expanded > compressed
+
+    def test_summary_via_statistics(self):
+        jobs = replica_jobs(n=15, lam=4.0, iterations=3000, replicas=4, seed=7)
+        table = run_ensemble(jobs, workers=2).table
+        (summary,) = table.summary("final_alpha")
+        assert summary["count"] == 4
+        assert summary["missing"] == 0
+        assert summary["ci_low"] <= summary["mean"] <= summary["ci_high"]
+        by_lambda = table.summary("final_alpha", by="lambda")
+        assert [s["group"] for s in by_lambda] == [4.0]
+
+    def test_summary_reports_missing_hitting_times(self):
+        jobs = scaling_time_jobs(
+            [20], lam=4.0, alpha=1.01, repetitions=2, budget_factor=0.1, seed=0
+        )
+        table = run_ensemble(jobs).table
+        (summary,) = table.summary("compression_time", by="n")
+        assert summary["missing"] == 2
+        assert summary["mean"] is None
+
+    def test_json_roundtrip_and_errors(self):
+        table = ResultsTable([{"a": 1, "b": 2.5}])
+        clone = ResultsTable.from_json(table.to_json())
+        assert clone.rows == table.rows
+        with pytest.raises(AnalysisError):
+            ResultsTable.from_json({"kind": "other"})
+        with pytest.raises(AnalysisError):
+            ResultsTable().mean("anything")

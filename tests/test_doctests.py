@@ -1,0 +1,29 @@
+"""Tier-1 enforcement of the documentation lane.
+
+The docstrings of :mod:`repro.rng` and :mod:`repro.core.properties` carry
+executable examples that double as the specification of the batched draw
+protocol and of Properties 1/2.  CI runs them via
+``pytest --doctest-modules src/repro/rng.py src/repro/core/properties.py``
+(the documentation lane, see ``pyproject.toml``); this test runs the same
+doctests inside the tier-1 suite so a drifting docstring fails the default
+``pytest`` invocation too.
+"""
+
+import doctest
+
+import repro.core.properties
+import repro.rng
+
+
+def _run(module):
+    failures, tested = doctest.testmod(module, verbose=False)
+    assert tested > 0, f"{module.__name__} lost its doctests; the docs lane is empty"
+    assert failures == 0, f"{failures} doctest failure(s) in {module.__name__}"
+
+
+def test_rng_doctests():
+    _run(repro.rng)
+
+
+def test_properties_doctests():
+    _run(repro.core.properties)
