@@ -11,6 +11,13 @@ numbers, giving the project a tracked perf trajectory instead of folklore.
 The format is deliberately trivial — one JSON object, one entry per
 benchmark, plus a ``_meta`` block — so any later tooling (plots,
 regression gates) can consume it without a schema migration.
+
+The ledger also defends itself: overwriting an entry with a throughput
+number (any ``*_per_second`` field, or ``speedup``) more than 30% below
+the committed value raises :class:`BenchRegressionError` instead of
+silently rewriting the perf trajectory.  Pass ``force=True`` (or run
+with ``--force`` on the command line) after confirming the regression is
+intentional — e.g. re-baselining on slower hardware.
 """
 
 from __future__ import annotations
@@ -19,9 +26,37 @@ import json
 import platform
 import sys
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 RESULTS_PATH = Path(__file__).parent / "BENCH_chain.json"
+
+#: Fraction of the committed throughput below which an overwrite refuses.
+REGRESSION_TOLERANCE = 0.30
+
+
+class BenchRegressionError(RuntimeError):
+    """Refusal to overwrite a ledger entry with a large throughput regression."""
+
+
+def _throughput_keys(fields: Dict[str, Any]) -> List[str]:
+    return [
+        key
+        for key, value in fields.items()
+        if isinstance(value, (int, float))
+        and (key.endswith("_per_second") or key == "speedup")
+    ]
+
+
+def _regressions(
+    previous: Dict[str, Any], fields: Dict[str, Any]
+) -> List[Tuple[str, float, float]]:
+    regressions = []
+    for key in _throughput_keys(fields):
+        old = previous.get(key)
+        new = fields[key]
+        if isinstance(old, (int, float)) and old > 0 and new < (1 - REGRESSION_TOLERANCE) * old:
+            regressions.append((key, float(old), float(new)))
+    return regressions
 
 
 def _load(path: Path) -> Dict[str, Any]:
@@ -36,7 +71,12 @@ def _load(path: Path) -> Dict[str, Any]:
     return {}
 
 
-def record(name: str, path: Optional[Union[str, Path]] = None, **fields: Any) -> Dict[str, Any]:
+def record(
+    name: str,
+    path: Optional[Union[str, Path]] = None,
+    force: bool = False,
+    **fields: Any,
+) -> Dict[str, Any]:
     """Merge one benchmark result into a ledger file and return the entry.
 
     Parameters
@@ -47,13 +87,37 @@ def record(name: str, path: Optional[Union[str, Path]] = None, **fields: Any) ->
         Ledger file to update; defaults to ``benchmarks/BENCH_chain.json``.
         Subsystem benchmarks keep their own ledger (e.g. the ensemble
         runner writes ``benchmarks/BENCH_ensemble.json``).
+    force:
+        Overwrite the entry even if a throughput field regressed by more
+        than :data:`REGRESSION_TOLERANCE`; also implied by a ``--force``
+        command-line argument.
     fields:
         Numeric results and their parameters, e.g.
         ``record("fast_chain_n1000", engine="fast", n=1000,
         iterations_per_second=2.4e6)``.
+
+    Raises
+    ------
+    BenchRegressionError
+        If the entry already exists and any ``*_per_second``/``speedup``
+        field would drop by more than :data:`REGRESSION_TOLERANCE`
+        without ``force``.
     """
     target = Path(path) if path is not None else RESULTS_PATH
     data = _load(target)
+    previous = data.get(name)
+    if isinstance(previous, dict) and not force and "--force" not in sys.argv:
+        regressions = _regressions(previous, fields)
+        if regressions:
+            detail = "; ".join(
+                f"{key}: {old:.6g} -> {new:.6g} ({new / old:.0%} of committed)"
+                for key, old, new in regressions
+            )
+            raise BenchRegressionError(
+                f"refusing to overwrite ledger entry {name!r} in {target.name} with a "
+                f">{REGRESSION_TOLERANCE:.0%} throughput regression ({detail}); pass "
+                f"force=True (or --force) if the regression is intentional"
+            )
     data["_meta"] = {
         "python": sys.version.split()[0],
         "platform": platform.platform(),

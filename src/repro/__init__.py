@@ -43,6 +43,7 @@ from repro.lattice.shapes import hexagon, line, random_connected, ring, spiral, 
 from repro.core.compression import CompressionSimulation, CompressionTrace
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.vector_chain import VectorCompressionChain
 from repro.amoebot.system import AmoebotSystem
 from repro.algorithms.expansion import ExpansionSimulation
 from repro.runtime import (
@@ -56,7 +57,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",
@@ -74,6 +75,7 @@ __all__ = [
     "CompressionTrace",
     "CompressionMarkovChain",
     "FastCompressionChain",
+    "VectorCompressionChain",
     "AmoebotSystem",
     "ExpansionSimulation",
     "ChainJob",

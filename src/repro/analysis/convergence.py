@@ -110,7 +110,8 @@ def scaling_study(
         Iteration budget per run is ``budget_factor * n^3`` — generous for
         the conjectured ``Theta(n^3)``-to-``O(n^4)`` scaling at small sizes.
     engine:
-        Which Algorithm M engine to run (``"reference"`` or ``"fast"``);
+        Which Algorithm M engine to run (``"reference"``, ``"fast"`` or
+        ``"vector"``);
         use ``"fast"`` for sizes beyond a few dozen particles.
     workers:
         Worker processes for the ensemble runner (1 = in-process).

@@ -75,6 +75,8 @@ GUARD_BAND = 4
 
 _MOVE_TABLES: Optional[Tuple[List[int], List[int], List[bool]]] = None
 
+_MOVE_TABLES_ARRAY: Optional[np.ndarray] = None
+
 
 def move_tables() -> Tuple[List[int], List[int], List[bool]]:
     """Return the three 256-entry move-resolution tables, building them once.
@@ -111,6 +113,23 @@ def move_tables() -> Tuple[List[int], List[int], List[bool]]:
     return _MOVE_TABLES
 
 
+def move_tables_array() -> np.ndarray:
+    """The move tables as one read-only ``(256, 3)`` ``int16`` array.
+
+    Column 0 is the source neighbor count, column 1 the target neighbor
+    count, column 2 the Property 1/2 verdict as ``0``/``1``.  Built from
+    (and memoized alongside) :func:`move_tables`, so the vector engine's
+    ``np.take`` path and the scalar engines' list lookups resolve every
+    mask from the same reference-generated source of truth.
+    """
+    global _MOVE_TABLES_ARRAY
+    if _MOVE_TABLES_ARRAY is None:
+        array = np.array(move_tables(), dtype=np.int16).T
+        array.setflags(write=False)
+        _MOVE_TABLES_ARRAY = array
+    return _MOVE_TABLES_ARRAY
+
+
 class OccupancyGrid:
     """A dense occupancy grid over a window of the triangular lattice.
 
@@ -126,8 +145,10 @@ class OccupancyGrid:
     ``direction_offsets[d]``, and reading the eight-node ring around a
     move edge is eight reads at ``ring_offsets[d]`` from the source cell.
 
-    The outermost :data:`GUARD_BAND` cells form a guard band
-    (:attr:`guard_band`).  Writers must reallocate (see
+    The outermost :data:`GUARD_BAND` cells form a guard band; membership
+    is pure ``divmod`` arithmetic on the flat index
+    (:meth:`in_guard_band`), so the band costs no memory and no rebuild
+    work on :meth:`recenter`.  Writers must reallocate (see
     :meth:`recenter`/:meth:`add`) when an occupied cell enters the band;
     in exchange, every offset read from a cell outside the band is
     guaranteed in bounds without per-read checks.
@@ -140,7 +161,6 @@ class OccupancyGrid:
         "origin_y",
         "cells",
         "array",
-        "guard_band",
         "direction_offsets",
         "ring_offsets",
     )
@@ -164,17 +184,6 @@ class OccupancyGrid:
         self.array = np.frombuffer(self.cells, dtype=np.int8).reshape(height, width)
         for node in node_list:
             self.cells[self.flat_index(node)] = 1
-        guard = bytearray(width * height)
-        for y in range(height):
-            row = y * width
-            if y < GUARD_BAND or y >= height - GUARD_BAND:
-                guard[row : row + width] = b"\x01" * width
-            else:
-                for x in range(GUARD_BAND):
-                    guard[row + x] = 1
-                for x in range(width - GUARD_BAND, width):
-                    guard[row + x] = 1
-        self.guard_band = guard
         self.direction_offsets = tuple(dy * width + dx for dx, dy in DIRECTIONS)
         self.ring_offsets = tuple(
             tuple(dy * width + dx for dx, dy in ring) for ring in RING_OFFSETS
@@ -197,6 +206,20 @@ class OccupancyGrid:
         x = node[0] - self.origin_x
         y = node[1] - self.origin_y
         return 0 <= x < self.width and 0 <= y < self.height
+
+    def in_guard_band(self, flat: int) -> bool:
+        """Whether a flat cell index lies in the :data:`GUARD_BAND`-wide border.
+
+        Pure ``divmod`` arithmetic — no second width x height table to
+        allocate or rebuild on :meth:`recenter`.
+        """
+        y, x = divmod(flat, self.width)
+        return (
+            x < GUARD_BAND
+            or x >= self.width - GUARD_BAND
+            or y < GUARD_BAND
+            or y >= self.height - GUARD_BAND
+        )
 
     # ------------------------------------------------------------------ #
     # Occupancy
@@ -227,7 +250,7 @@ class OccupancyGrid:
         the amoebot simulator; the chain engine drives reallocation itself
         to keep its hot loop free of per-move checks.
         """
-        if not self.contains(node) or self.guard_band[self.flat_index(node)]:
+        if not self.contains(node) or self.in_guard_band(self.flat_index(node)):
             self.recenter(extra=[node])
         self.cells[self.flat_index(node)] = 1
 
@@ -424,7 +447,7 @@ class FastCompressionChain:
         self._edge_count += edge_delta
         self._accepted += 1
         self._configuration_cache = None
-        if grid.guard_band[target]:
+        if grid.in_guard_band(target):
             self._reallocate()
         return StepResult(True, move, edge_delta, "moved")
 
@@ -454,7 +477,7 @@ class FastCompressionChain:
         pos = self._pos
         grid = self._grid
         cells = grid.cells
-        guard = grid.guard_band
+        in_guard_band = grid.in_guard_band
         direction_offsets = grid.direction_offsets
         ring_offsets = grid.ring_offsets
         forbidden = FORBIDDEN_NEIGHBOR_COUNT
@@ -465,9 +488,7 @@ class FastCompressionChain:
         while remaining > 0:
             if draws.cursor >= draws.size:
                 draws.refill()
-            indices = draws.indices
-            directions = draws.directions
-            uniforms = draws.uniforms
+            indices, directions, uniforms = draws.lists()
             start = draws.cursor
             stop = start + min(draws.size - start, remaining)
             consumed = stop - start
@@ -507,7 +528,7 @@ class FastCompressionChain:
                 pos[index] = target
                 edges += delta
                 accepted += 1
-                if guard[target]:
+                if in_guard_band(target):
                     consumed = cursor - start + 1
                     hit_guard = True
                     break
@@ -518,7 +539,7 @@ class FastCompressionChain:
                 pos = self._pos
                 grid = self._grid
                 cells = grid.cells
-                guard = grid.guard_band
+                in_guard_band = grid.in_guard_band
                 direction_offsets = grid.direction_offsets
                 ring_offsets = grid.ring_offsets
 

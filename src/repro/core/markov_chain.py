@@ -19,12 +19,14 @@ space ``Omega*`` and is ergodic there (Section 3.5), and converges to
 This module is the *reference engine*: every quantity it reports is
 either maintained by transparently simple bookkeeping or recomputed from
 scratch by :class:`~repro.lattice.configuration.ParticleConfiguration`.
-The production counterpart, :class:`~repro.core.fast_chain.FastCompressionChain`,
-trades that transparency for throughput; both consume randomness through
-the batched draw protocol of :class:`repro.rng.BatchedMoveDraws` (one
-``(index, direction, uniform)`` triple per iteration, the uniform consumed
-even when a proposal is rejected early), so equal seeds and block sizes
-yield bit-identical trajectories across the two engines.
+The production counterparts —
+:class:`~repro.core.fast_chain.FastCompressionChain` and the
+block-vectorized :class:`~repro.core.vector_chain.VectorCompressionChain`
+— trade that transparency for throughput; all engines consume randomness
+through the batched draw protocol of :class:`repro.rng.BatchedMoveDraws`
+(one ``(index, direction, uniform)`` triple per iteration, the uniform
+consumed even when a proposal is rejected early), so equal seeds and
+block sizes yield bit-identical trajectories across all three engines.
 """
 
 from __future__ import annotations

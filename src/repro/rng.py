@@ -5,15 +5,19 @@ entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
 This module centralizes the conversion so behaviour is reproducible and
 uniform across the code base.
 
-It also defines the *batched draw protocol* shared by the two Algorithm M
-engines (:class:`~repro.core.markov_chain.CompressionMarkovChain` and
-:class:`~repro.core.fast_chain.FastCompressionChain`): per chain iteration
-both engines consume exactly one ``(particle index, direction, uniform)``
-triple from a :class:`BatchedMoveDraws` tape, pre-generated in fixed-size
-blocks.  Because consumption is one triple per iteration regardless of how
-the proposal is resolved, two engines seeded identically and using the
-same block size see bit-identical randomness — which is what makes the
-differential-testing harness able to demand identical trajectories.
+It also defines the *batched draw protocol* shared by the three Algorithm
+M engines (:class:`~repro.core.markov_chain.CompressionMarkovChain`,
+:class:`~repro.core.fast_chain.FastCompressionChain` and
+:class:`~repro.core.vector_chain.VectorCompressionChain`): per chain
+iteration every engine consumes exactly one ``(particle index, direction,
+uniform)`` triple from a :class:`BatchedMoveDraws` tape, pre-generated in
+fixed-size blocks.  Because consumption is one triple per iteration
+regardless of how the proposal is resolved, engines seeded identically
+and using the same block size see bit-identical randomness — which is
+what makes the differential-testing harness able to demand identical
+trajectories.  The tape is stored as numpy arrays (consumed wholesale by
+the vector engine's block passes) with a memoized plain-list view for
+the scalar engines.
 
 The same protocol is what makes the parallel ensemble runner
 (:mod:`repro.runtime`) exact: every ensemble job carries its own plain
@@ -44,25 +48,37 @@ class BatchedMoveDraws:
 
     Each refill draws ``block`` particle indices (uniform on ``[0, n)``),
     ``block`` direction indices (uniform on ``[0, 6)``) and ``block``
-    uniforms on ``[0, 1)`` from the underlying generator, in that order,
-    and converts them to plain Python scalars once so the per-iteration
-    cost is three list reads.
+    uniforms on ``[0, 1)`` from the underlying generator, in that order.
+    The draws are kept as numpy arrays — the vector engine consumes them
+    directly in whole-block numpy passes — with a memoized plain-list view
+    (:meth:`lists`) for the scalar engines' per-element loops.
 
     The uniform of a triple is consumed even when the proposal is rejected
     before the Metropolis filter (e.g. an occupied target); this keeps the
     tape position a pure function of the iteration count, so engines with
     the same seed and block size stay aligned forever.
 
+    A refill may generate several blocks at once (``refill(blocks=k)``):
+    the generator is still invoked once per ``block`` in the canonical
+    ``(indices, directions, uniforms)`` order, so the underlying random
+    stream — and therefore every trajectory — is unchanged; only the
+    amount of tape materialized ahead of the cursor grows.  This is how
+    the vector engine amortizes its per-pass numpy overhead over spans
+    longer than one block without breaking bit-identity with the scalar
+    engines.
+
     Attributes
     ----------
     indices, directions, uniforms:
-        The current block's draws as plain Python lists.  Exposed (together
-        with ``cursor``/``size``) so the fast engine's inner loop can read
-        them without per-draw method-call overhead.
+        The currently materialized draws as numpy arrays (``int64``,
+        ``int64``, ``float64``).  Exposed (together with
+        ``cursor``/``size``) so engine inner loops can read them without
+        per-draw method-call overhead.
     cursor:
-        Position of the next unconsumed triple within the current block.
+        Position of the next unconsumed triple within the current tape.
     size:
-        Number of triples in the current block (0 before the first refill).
+        Number of triples currently materialized (0 before the first
+        refill).
 
     Examples
     --------
@@ -78,9 +94,26 @@ class BatchedMoveDraws:
     >>> twin = BatchedMoveDraws(np.random.default_rng(0), n=10, block=4)
     >>> twin.draw() == (index, direction, uniform)
     True
+
+    Materializing several blocks per refill leaves the stream unchanged:
+
+    >>> wide = BatchedMoveDraws(np.random.default_rng(0), n=10, block=4)
+    >>> wide.refill(blocks=3)
+    >>> wide.draw() == (index, direction, uniform)
+    True
     """
 
-    __slots__ = ("_rng", "_n", "block", "indices", "directions", "uniforms", "cursor", "size")
+    __slots__ = (
+        "_rng",
+        "_n",
+        "block",
+        "indices",
+        "directions",
+        "uniforms",
+        "cursor",
+        "size",
+        "_lists",
+    )
 
     def __init__(self, rng: np.random.Generator, n: int, block: int = DEFAULT_DRAW_BLOCK) -> None:
         if n <= 0:
@@ -90,28 +123,64 @@ class BatchedMoveDraws:
         self._rng = rng
         self._n = n
         self.block = block
-        self.indices: List[int] = []
-        self.directions: List[int] = []
-        self.uniforms: List[float] = []
+        self.indices: np.ndarray = np.empty(0, dtype=np.int64)
+        self.directions: np.ndarray = np.empty(0, dtype=np.int64)
+        self.uniforms: np.ndarray = np.empty(0, dtype=np.float64)
         self.cursor = 0
         self.size = 0
+        self._lists: Optional[Tuple[List[int], List[int], List[float]]] = None
 
-    def refill(self) -> None:
-        """Generate the next block of triples, discarding any unread remainder."""
+    def refill(self, blocks: int = 1) -> None:
+        """Materialize the next ``blocks`` blocks, discarding any unread remainder.
+
+        The generator is invoked exactly as ``blocks`` successive
+        single-block refills would invoke it, so tapes that refill in
+        different granularities still replay the same stream.
+        """
+        if blocks < 1:
+            raise ValueError(f"blocks must be at least 1, got {blocks}")
         rng = self._rng
-        self.indices = rng.integers(0, self._n, size=self.block).tolist()
-        self.directions = rng.integers(0, 6, size=self.block).tolist()
-        self.uniforms = rng.random(self.block).tolist()
+        if blocks == 1:
+            self.indices = rng.integers(0, self._n, size=self.block)
+            self.directions = rng.integers(0, 6, size=self.block)
+            self.uniforms = rng.random(self.block)
+        else:
+            index_parts, direction_parts, uniform_parts = [], [], []
+            for _ in range(blocks):
+                index_parts.append(rng.integers(0, self._n, size=self.block))
+                direction_parts.append(rng.integers(0, 6, size=self.block))
+                uniform_parts.append(rng.random(self.block))
+            self.indices = np.concatenate(index_parts)
+            self.directions = np.concatenate(direction_parts)
+            self.uniforms = np.concatenate(uniform_parts)
         self.cursor = 0
-        self.size = self.block
+        self.size = blocks * self.block
+        self._lists = None
+
+    def lists(self) -> Tuple[List[int], List[int], List[float]]:
+        """The materialized draws as plain Python lists (memoized per refill).
+
+        The scalar engines' inner loops read these: list indexing returns
+        plain ``int``/``float`` objects, which CPython handles markedly
+        faster than numpy scalars.  The conversion happens once per refill
+        regardless of how many ``run()`` calls consume the block.
+        """
+        if self._lists is None:
+            self._lists = (
+                self.indices.tolist(),
+                self.directions.tolist(),
+                self.uniforms.tolist(),
+            )
+        return self._lists
 
     def draw(self) -> Tuple[int, int, float]:
         """Consume and return the next ``(index, direction, uniform)`` triple."""
         if self.cursor >= self.size:
             self.refill()
+        indices, directions, uniforms = self.lists()
         cursor = self.cursor
         self.cursor = cursor + 1
-        return self.indices[cursor], self.directions[cursor], self.uniforms[cursor]
+        return indices[cursor], directions[cursor], uniforms[cursor]
 
 
 def make_rng(seed: RandomState = None) -> np.random.Generator:

@@ -42,6 +42,7 @@ from repro.runtime.checkpoint import (
     job_to_json,
 )
 from repro.runtime.runner import (
+    EnsembleProgress,
     EnsembleResult,
     EnsembleRunner,
     default_workers,
@@ -63,6 +64,7 @@ __all__ = [
     "chain_result_to_json",
     "job_from_json",
     "job_to_json",
+    "EnsembleProgress",
     "EnsembleResult",
     "EnsembleRunner",
     "default_workers",

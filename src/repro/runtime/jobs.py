@@ -63,7 +63,8 @@ class ChainJob:
     initial_nodes:
         Explicit starting configuration as a tuple of ``(x, y)`` nodes.
     engine:
-        Algorithm M engine, ``"fast"`` (default) or ``"reference"``.
+        Algorithm M engine: ``"fast"`` (default), ``"vector"`` (fastest
+        for ``n >= 1000``) or ``"reference"``.
     kind:
         ``"trace"`` runs ``iterations`` steps recording a metrics trace;
         ``"compression_time"`` runs until alpha-compression (or budget).

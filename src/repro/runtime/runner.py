@@ -52,6 +52,38 @@ def default_workers(limit: int = 8) -> int:
     return max(1, min(limit, usable_cores()))
 
 
+@dataclass(frozen=True)
+class EnsembleProgress:
+    """One progress report from a running ensemble.
+
+    Delivered to ``on_progress`` once per completed job (checkpoint
+    restores included), in the order completions happen.  ``eta_seconds``
+    is the classic remaining-work estimate ``elapsed / completed *
+    remaining``; it is ``None`` until at least one job has completed
+    within the current run (i.e. while everything so far came from the
+    checkpoint in negligible time).
+
+    Attributes
+    ----------
+    completed:
+        Number of jobs finished so far (including this one).
+    total:
+        Number of jobs in the ensemble.
+    job_id:
+        Id of the job whose completion triggered this report.
+    elapsed_seconds:
+        Wall-clock time since the ensemble started.
+    eta_seconds:
+        Estimated wall-clock time until the ensemble finishes.
+    """
+
+    completed: int
+    total: int
+    job_id: str
+    elapsed_seconds: float
+    eta_seconds: Optional[float]
+
+
 @dataclass
 class EnsembleResult:
     """Everything an ensemble run produced, in submission order."""
@@ -116,12 +148,15 @@ class EnsembleRunner:
         self,
         jobs: Sequence[ChainJob],
         on_result: Optional[Callable[[ChainResult], None]] = None,
+        on_progress: Optional[Callable[[EnsembleProgress], None]] = None,
     ) -> EnsembleResult:
         """Run an ensemble to completion and return ordered results.
 
         ``on_result`` is called once per job as its result becomes
         available (completion order, not submission order) — including for
-        results restored from the checkpoint.
+        results restored from the checkpoint.  ``on_progress`` is called
+        at the same cadence with an :class:`EnsembleProgress` carrying
+        completed/total counts and an ETA estimate.
         """
         jobs = list(jobs)
         seen: Dict[str, ChainJob] = {}
@@ -131,20 +166,46 @@ class EnsembleRunner:
             seen[job.job_id] = job
 
         started = time.perf_counter()
+        total = len(jobs)
+        completed = 0
+        executed = 0
+
+        def report(result: ChainResult) -> None:
+            nonlocal completed, executed
+            completed += 1
+            if not result.from_checkpoint:
+                executed += 1
+            if on_result is not None:
+                on_result(result)
+            if on_progress is not None:
+                elapsed = time.perf_counter() - started
+                eta: Optional[float] = None
+                if executed and completed < total:
+                    eta = elapsed / executed * (total - completed)
+                elif completed >= total:
+                    eta = 0.0
+                on_progress(
+                    EnsembleProgress(
+                        completed=completed,
+                        total=total,
+                        job_id=result.job.job_id,
+                        elapsed_seconds=elapsed,
+                        eta_seconds=eta,
+                    )
+                )
+
         by_id: Dict[str, ChainResult] = {}
         if self.checkpoint is not None:
             by_id.update(self.checkpoint.load_completed(jobs))
-            if on_result is not None:
-                for result in by_id.values():
-                    on_result(result)
+            for result in by_id.values():
+                report(result)
         pending = [job for job in jobs if job.job_id not in by_id]
 
         for result in self._execute(pending):
             if self.checkpoint is not None:
                 self.checkpoint.store(result)
             by_id[result.job.job_id] = result
-            if on_result is not None:
-                on_result(result)
+            report(result)
 
         ordered = [by_id[job.job_id] for job in jobs]
         ensemble = EnsembleResult(
@@ -179,8 +240,9 @@ def run_ensemble(
     workers: int = 1,
     checkpoint: Optional[Union[PathLike, EnsembleCheckpoint]] = None,
     on_result: Optional[Callable[[ChainResult], None]] = None,
+    on_progress: Optional[Callable[[EnsembleProgress], None]] = None,
     start_method: Optional[str] = None,
 ) -> EnsembleResult:
     """One-call convenience wrapper around :class:`EnsembleRunner`."""
     runner = EnsembleRunner(workers=workers, checkpoint=checkpoint, start_method=start_method)
-    return runner.run(jobs, on_result=on_result)
+    return runner.run(jobs, on_result=on_result, on_progress=on_progress)

@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.vector_chain import VectorCompressionChain
 from repro.lattice.shapes import random_connected, random_hole_free
 
 #: lambdas cycled across the randomized runs: expanding, neutral and
@@ -61,6 +62,18 @@ def test_randomized_invariants_fast_engine(seed, n, lam, hole_free):
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("seed,n,lam,hole_free", RUN_MATRIX[::2])
+def test_randomized_invariants_vector_engine(seed, n, lam, hole_free):
+    """The vector engine's numpy passes keep the same paper invariants."""
+    start = random_start(n, seed, hole_free)
+    hole_free_start = start.is_hole_free
+    chain = VectorCompressionChain(start, lam=lam, seed=seed)
+    for block in range(4):
+        chain.run(400)
+        check_invariants(chain, hole_free_start, f"vector seed={seed} block={block}")
+
+
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", range(10))
 def test_randomized_invariants_reference_engine(seed):
     start = random_start(20, seed, hole_free=seed % 2 == 0)
@@ -69,6 +82,39 @@ def test_randomized_invariants_reference_engine(seed):
     for block in range(3):
         chain.run(300)
         check_invariants(chain, hole_free_start, f"reference seed={seed} block={block}")
+
+
+@pytest.mark.parametrize("engine", [FastCompressionChain, VectorCompressionChain])
+def test_holey_start_fallback_then_euler_lock_in(engine):
+    """The fast engines' perimeter/hole fallback path for holey starts.
+
+    A start with holes must report *exact* ``perimeter()`` and
+    ``hole_count()`` (from full recomputation, since ``p = 3n - 3 - e``
+    only holds hole-free) until the holes vanish; once they do, the
+    engine must lock into the O(1) Euler-identity path permanently and
+    keep agreeing with recomputation.
+    """
+    start = random_connected(28, seed=104)  # chosen seed: starts with holes
+    assert not start.is_hole_free, "fixture must exercise the holey fallback"
+    chain = engine(start, lam=5.0, seed=9)
+    assert chain._hole_free is False
+    saw_holey_phase = False
+    locked_at = None
+    for block in range(60):
+        exact = chain.configuration
+        # Exactness of the fallback (and, later, of the O(1) path).
+        assert chain.perimeter() == exact.perimeter, f"block {block}"
+        assert chain.hole_count() == len(exact.holes), f"block {block}"
+        if not chain._hole_free:
+            saw_holey_phase = saw_holey_phase or len(exact.holes) > 0
+        if chain._hole_free:
+            # Lock-in: the flag never clears, and the Euler identity holds.
+            locked_at = block if locked_at is None else locked_at
+            assert chain.perimeter() == 3 * chain.n - 3 - chain.edge_count
+        chain.run(600)
+    assert saw_holey_phase, "test never exercised the exact fallback"
+    assert locked_at is not None, "holes never vanished; raise the block budget"
+    assert chain._hole_free, "lock-in must be permanent (Lemma 3.2)"
 
 
 @pytest.mark.slow

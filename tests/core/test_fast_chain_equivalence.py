@@ -1,12 +1,17 @@
-"""Differential-testing harness: the fast engine against the reference engine.
+"""Differential-testing harness: the optimized engines against the reference.
 
 The contract under test is the one documented in :mod:`repro.core`:
 seeded identically (same seed, same draw block), the grid-based
-:class:`~repro.core.fast_chain.FastCompressionChain` and the hash-map
-:class:`~repro.core.markov_chain.CompressionMarkovChain` must produce
-bit-identical trajectories — the same proposal every iteration, resolved
-the same way (identical move, rejection reason and edge delta), with
-identical running edge counts, perimeters and rejection tallies.
+:class:`~repro.core.fast_chain.FastCompressionChain`, the
+block-vectorized :class:`~repro.core.vector_chain.VectorCompressionChain`
+and the hash-map :class:`~repro.core.markov_chain.CompressionMarkovChain`
+must produce bit-identical trajectories — the same proposal every
+iteration, resolved the same way (identical move, rejection reason and
+edge delta), with identical running edge counts, perimeters and rejection
+tallies.  For the vector engine the batched ``run()`` path (the numpy
+passes with the conflict cut) is additionally tested against the scalar
+engines' ``run()`` across every case, since its ``step()`` is the scalar
+fallback.
 
 Lockstep runs cover the paper's standard line start, maximally compressed
 spirals, and random connected starts (with and without holes), across
@@ -21,9 +26,11 @@ from repro.core.fast_chain import (
     FastCompressionChain,
     OccupancyGrid,
     move_tables,
+    move_tables_array,
 )
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.core.properties import satisfies_either_property
+from repro.core.vector_chain import VectorCompressionChain
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.shapes import line, random_connected, ring, spiral
@@ -41,44 +48,73 @@ LOCKSTEP_CASES = {
     "unbiased_random_walk": (line(15), 1.0, 2000),
 }
 
+#: The engines measured against the reference implementation.
+CANDIDATE_ENGINES = {
+    "fast": FastCompressionChain,
+    "vector": VectorCompressionChain,
+}
 
-def engine_pair(initial, lam, seed):
-    """A (reference, fast) pair seeded identically."""
+
+def engine_pair(initial, lam, seed, candidate="fast"):
+    """A (reference, candidate) pair seeded identically."""
     return (
         CompressionMarkovChain(initial, lam=lam, seed=seed),
-        FastCompressionChain(initial, lam=lam, seed=seed),
+        CANDIDATE_ENGINES[candidate](initial, lam=lam, seed=seed),
     )
+
+
+def assert_same_final_state(candidate, reference, context=""):
+    assert candidate.occupied == reference.occupied, context
+    assert candidate.edge_count == reference.edge_count, context
+    assert candidate.accepted_moves == reference.accepted_moves, context
+    assert candidate.rejection_counts == reference.rejection_counts, context
+    assert candidate.perimeter() == reference.perimeter(), context
+    assert candidate.hole_count() == reference.hole_count(), context
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("candidate", sorted(CANDIDATE_ENGINES))
+@pytest.mark.parametrize("name", sorted(LOCKSTEP_CASES))
+def test_lockstep_trajectories_are_identical(name, candidate):
+    initial, lam, iterations = LOCKSTEP_CASES[name]
+    reference, engine = engine_pair(initial, lam, seed=7, candidate=candidate)
+    for iteration in range(iterations):
+        expected = reference.step()
+        actual = engine.step()
+        assert actual == expected, (
+            f"{name}: trajectories diverged at iteration {iteration}: "
+            f"reference={expected}, {candidate}={actual}"
+        )
+        assert engine.edge_count == reference.edge_count, f"{name}@{iteration}"
+        if iteration % 250 == 0:
+            assert engine.perimeter() == reference.perimeter(), f"{name}@{iteration}"
+    assert_same_final_state(engine, reference)
+    assert engine.configuration == reference.configuration
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(LOCKSTEP_CASES))
-def test_lockstep_trajectories_are_identical(name):
+def test_vector_run_matches_fast_run(name):
+    """The vector engine's batched numpy path must equal scalar run()."""
     initial, lam, iterations = LOCKSTEP_CASES[name]
-    reference, fast = engine_pair(initial, lam, seed=7)
-    for iteration in range(iterations):
-        expected = reference.step()
-        actual = fast.step()
-        assert actual == expected, (
-            f"{name}: trajectories diverged at iteration {iteration}: "
-            f"reference={expected}, fast={actual}"
-        )
-        assert fast.edge_count == reference.edge_count, f"{name}@{iteration}"
-        if iteration % 250 == 0:
-            assert fast.perimeter() == reference.perimeter(), f"{name}@{iteration}"
-    assert fast.occupied == reference.occupied
-    assert fast.accepted_moves == reference.accepted_moves
-    assert fast.rejection_counts == reference.rejection_counts
-    assert fast.perimeter() == reference.perimeter()
-    assert fast.hole_count() == reference.hole_count()
-    assert fast.configuration == reference.configuration
+    fast = FastCompressionChain(initial, lam=lam, seed=19)
+    vector = VectorCompressionChain(initial, lam=lam, seed=19)
+    # Uneven chunks straddle draw blocks, pass boundaries and refills.
+    for chunk in (1, 37, 700, 1024, 2500, iterations):
+        fast.run(chunk)
+        vector.run(chunk)
+        assert vector.edge_count == fast.edge_count, f"{name} after chunk {chunk}"
+    assert_same_final_state(vector, fast, name)
 
 
 @pytest.mark.slow
-def test_block_runs_match_lockstep_runs():
+@pytest.mark.parametrize("candidate", sorted(CANDIDATE_ENGINES))
+def test_block_runs_match_lockstep_runs(candidate):
     """run(k) must consume the tape exactly like k step() calls."""
     initial = line(40)
-    stepped = FastCompressionChain(initial, lam=4.0, seed=3)
-    blocked = FastCompressionChain(initial, lam=4.0, seed=3)
+    engine = CANDIDATE_ENGINES[candidate]
+    stepped = engine(initial, lam=4.0, seed=3)
+    blocked = engine(initial, lam=4.0, seed=3)
     for _ in range(3000):
         stepped.step()
     for block in (1, 7, 500, 992, 1500):  # straddles draw-block boundaries
@@ -90,30 +126,43 @@ def test_block_runs_match_lockstep_runs():
 
 
 @pytest.mark.slow
-def test_long_run_with_grid_reallocation_matches_reference():
+@pytest.mark.parametrize("candidate", sorted(CANDIDATE_ENGINES))
+def test_long_run_with_grid_reallocation_matches_reference(candidate):
     """An unbiased blob drifts far enough to force several grid re-centers."""
     initial = line(30)
-    reference, fast = engine_pair(initial, 1.0, seed=13)
+    reference, engine = engine_pair(initial, 1.0, seed=13, candidate=candidate)
     reference.run(150_000)
-    fast.run(150_000)
-    assert fast.occupied == reference.occupied
-    assert fast.edge_count == reference.edge_count
-    assert fast.accepted_moves == reference.accepted_moves
-    assert fast.rejection_counts == reference.rejection_counts
-    assert fast.perimeter() == reference.perimeter()
+    engine.run(150_000)
+    assert_same_final_state(engine, reference)
 
 
-def test_callback_interface_matches_reference():
-    seen_reference, seen_fast = [], []
-    reference, fast = engine_pair(line(12), 4.0, seed=5)
+@pytest.mark.parametrize("candidate", sorted(CANDIDATE_ENGINES))
+def test_callback_interface_matches_reference(candidate):
+    seen_reference, seen_candidate = [], []
+    reference, engine = engine_pair(line(12), 4.0, seed=5, candidate=candidate)
     reference.run(200, callback=lambda i, r: seen_reference.append((i, r)))
-    fast.run(200, callback=lambda i, r: seen_fast.append((i, r)))
-    assert seen_fast == seen_reference
+    engine.run(200, callback=lambda i, r: seen_candidate.append((i, r)))
+    assert seen_candidate == seen_reference
+
+
+def test_mixed_step_and_run_keeps_vector_engine_aligned():
+    """Interleaving scalar step() with vectorized run() shares one tape."""
+    fast = FastCompressionChain(line(25), lam=4.0, seed=2)
+    vector = VectorCompressionChain(line(25), lam=4.0, seed=2)
+    for _ in range(40):
+        fast.step()
+        vector.step()
+    for chunk in (900, 200, 2048):
+        fast.run(chunk)
+        vector.run(chunk)
+    for _ in range(40):
+        assert vector.step() == fast.step()
+    assert_same_final_state(vector, fast)
 
 
 def test_constructor_error_parity():
     disconnected = ParticleConfiguration([(0, 0), (5, 5)])
-    for engine in (CompressionMarkovChain, FastCompressionChain):
+    for engine in (CompressionMarkovChain, FastCompressionChain, VectorCompressionChain):
         with pytest.raises(ConfigurationError):
             engine(disconnected, lam=4.0)
         with pytest.raises(ConfigurationError):
@@ -148,6 +197,19 @@ class TestMoveTables:
                 1 for node in neighbors(target) if node in occupied
             )
 
+    def test_array_form_matches_list_form(self):
+        """move_tables_array() is the same data as move_tables(), column-wise."""
+        neighbors_before, neighbors_after, property_ok = move_tables()
+        array = move_tables_array()
+        assert array.shape == (256, 3)
+        assert not array.flags.writeable
+        assert array[:, 0].tolist() == neighbors_before
+        assert array[:, 1].tolist() == neighbors_after
+        assert array[:, 2].tolist() == [int(ok) for ok in property_ok]
+
+    def test_array_form_is_memoized(self):
+        assert move_tables_array() is move_tables_array()
+
 
 class TestOccupancyGrid:
     def test_roundtrip_and_membership(self):
@@ -180,3 +242,18 @@ class TestOccupancyGrid:
         grid = OccupancyGrid(nodes)
         grid.recenter()
         assert sorted(grid.occupied_nodes()) == nodes
+
+    def test_guard_band_membership_is_the_border(self):
+        """in_guard_band (divmod arithmetic) marks exactly the border cells."""
+        from repro.core.fast_chain import GUARD_BAND
+
+        grid = OccupancyGrid([(0, 0), (3, 2)])
+        for y in range(grid.height):
+            for x in range(grid.width):
+                expected = (
+                    x < GUARD_BAND
+                    or x >= grid.width - GUARD_BAND
+                    or y < GUARD_BAND
+                    or y >= grid.height - GUARD_BAND
+                )
+                assert grid.in_guard_band(y * grid.width + x) == expected, (x, y)

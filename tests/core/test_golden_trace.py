@@ -21,9 +21,16 @@ import pytest
 
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.vector_chain import VectorCompressionChain
 from repro.lattice.shapes import line
 
 FIXTURE_PATH = Path(__file__).parent / "golden" / "line20_lam4_seed0.json"
+
+ENGINES_UNDER_TEST = {
+    "reference": CompressionMarkovChain,
+    "fast": FastCompressionChain,
+    "vector": VectorCompressionChain,
+}
 
 
 @pytest.fixture(scope="module")
@@ -32,9 +39,9 @@ def golden():
         return json.load(fh)
 
 
-@pytest.mark.parametrize("engine_name", ["reference", "fast"])
+@pytest.mark.parametrize("engine_name", sorted(ENGINES_UNDER_TEST))
 def test_engine_reproduces_golden_trace(golden, engine_name):
-    engine = {"reference": CompressionMarkovChain, "fast": FastCompressionChain}[engine_name]
+    engine = ENGINES_UNDER_TEST[engine_name]
     chain = engine(
         line(golden["n"]),
         lam=golden["lam"],
@@ -56,6 +63,25 @@ def test_engine_reproduces_golden_trace(golden, engine_name):
             f"{engine_name} engine diverged from the golden trace at iteration "
             f"{iteration}: got {actual}, expected {expected}"
         )
+    final = golden["final"]
+    assert chain.edge_count == final["edge_count"]
+    assert chain.perimeter() == final["perimeter"]
+    assert chain.accepted_moves == final["accepted_moves"]
+    assert chain.rejection_counts == final["rejection_counts"]
+    assert sorted(chain.occupied) == [tuple(node) for node in final["occupied"]]
+
+
+@pytest.mark.parametrize("engine_name", sorted(ENGINES_UNDER_TEST))
+def test_engine_run_reproduces_golden_final_state(golden, engine_name):
+    """The batched run() paths (including the vector engine's numpy passes)
+    land on the committed final state, not just per-step step()."""
+    chain = ENGINES_UNDER_TEST[engine_name](
+        line(golden["n"]),
+        lam=golden["lam"],
+        seed=golden["seed"],
+        draw_block=golden["draw_block"],
+    )
+    chain.run(golden["steps"])
     final = golden["final"]
     assert chain.edge_count == final["edge_count"]
     assert chain.perimeter() == final["perimeter"]

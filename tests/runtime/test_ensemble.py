@@ -118,6 +118,42 @@ class TestEnsembleDeterminism:
         run_ensemble(jobs, workers=2, on_result=lambda result: seen.append(result.job.job_id))
         assert sorted(seen) == sorted(job.job_id for job in jobs)
 
+    def test_on_progress_fires_once_per_job_in_submission_order(self):
+        """Serial execution completes jobs in submission order, so the
+        progress stream must follow it: one report per job, completed
+        counting 1..total, ETA present and ending at zero."""
+        jobs = small_sweep_jobs()[:4]
+        reports = []
+        run_ensemble(jobs, workers=1, on_progress=reports.append)
+        assert [progress.job_id for progress in reports] == [job.job_id for job in jobs]
+        assert [progress.completed for progress in reports] == [1, 2, 3, 4]
+        assert all(progress.total == len(jobs) for progress in reports)
+        elapsed = [progress.elapsed_seconds for progress in reports]
+        assert elapsed == sorted(elapsed) and elapsed[0] >= 0.0
+        for progress in reports[:-1]:
+            assert progress.eta_seconds is not None and progress.eta_seconds >= 0.0
+        assert reports[-1].eta_seconds == 0.0
+
+    def test_on_progress_counts_checkpoint_restores(self, tmp_path):
+        jobs = small_sweep_jobs()[:3]
+        run_ensemble(jobs, checkpoint=tmp_path)
+        reports = []
+        resumed = run_ensemble(jobs, checkpoint=tmp_path, on_progress=reports.append)
+        assert resumed.loaded_from_checkpoint == len(jobs)
+        assert [progress.completed for progress in reports] == [1, 2, 3]
+        assert reports[-1].eta_seconds == 0.0
+
+    def test_vector_engine_jobs_match_fast_engine_jobs(self):
+        """engine="vector" runs through the runner and agrees with "fast"."""
+        fast_job = ChainJob(job_id="f", lam=4.0, seed=11, n=40, iterations=20_000)
+        vector_job = ChainJob(
+            job_id="v", lam=4.0, seed=11, n=40, engine="vector", iterations=20_000
+        )
+        fast_result, vector_result = run_ensemble([fast_job, vector_job]).results
+        assert vector_result.accepted_moves == fast_result.accepted_moves
+        assert vector_result.rejection_counts == fast_result.rejection_counts
+        assert vector_result.trace.final() == fast_result.trace.final()
+
 
 class TestResultsTable:
     def test_table_shape_and_grouping(self):

@@ -1,0 +1,85 @@
+"""The benchmark ledger's regression guard (``benchmarks/_emit.py``).
+
+The ledger files are the repo's tracked perf trajectory; the guard makes
+sure a re-run cannot silently replace a committed throughput number with
+one more than 30% worse (the way ``engine_speedup_n1000`` once drifted
+37x -> 25x without anyone noticing at emit time).
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_EMIT_PATH = Path(__file__).parent.parent / "benchmarks" / "_emit.py"
+
+
+@pytest.fixture(scope="module")
+def emit():
+    spec = importlib.util.spec_from_file_location("bench_emit_under_test", _EMIT_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def read_ledger(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def test_record_creates_and_merges_entries(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("alpha", path=ledger, n=10, iterations_per_second=100.0)
+    emit.record("beta", path=ledger, n=20, speedup=3.0)
+    data = read_ledger(ledger)
+    assert data["alpha"] == {"n": 10, "iterations_per_second": 100.0}
+    assert data["beta"] == {"n": 20, "speedup": 3.0}
+    assert "_meta" in data
+
+
+def test_small_regressions_and_improvements_pass(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("bench", path=ledger, iterations_per_second=100.0)
+    emit.record("bench", path=ledger, iterations_per_second=75.0)  # -25% is tolerated
+    emit.record("bench", path=ledger, iterations_per_second=200.0)
+    assert read_ledger(ledger)["bench"]["iterations_per_second"] == 200.0
+
+
+def test_large_regression_is_refused(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("bench", path=ledger, n=10, iterations_per_second=100.0)
+    with pytest.raises(emit.BenchRegressionError, match="bench"):
+        emit.record("bench", path=ledger, n=10, iterations_per_second=69.0)
+    # The committed entry survives the refused overwrite.
+    assert read_ledger(ledger)["bench"]["iterations_per_second"] == 100.0
+
+
+def test_speedup_field_is_guarded(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("gate", path=ledger, speedup=37.0)
+    with pytest.raises(emit.BenchRegressionError, match="37"):
+        emit.record("gate", path=ledger, speedup=25.0)
+
+
+def test_non_throughput_fields_are_not_guarded(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("bench", path=ledger, n=1000, seconds=10.0)
+    emit.record("bench", path=ledger, n=10, seconds=1.0)  # params may change freely
+    assert read_ledger(ledger)["bench"]["n"] == 10
+
+
+def test_force_overrides_the_guard(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("bench", path=ledger, iterations_per_second=100.0)
+    emit.record("bench", path=ledger, force=True, iterations_per_second=10.0)
+    assert read_ledger(ledger)["bench"]["iterations_per_second"] == 10.0
+
+
+def test_command_line_force_flag_overrides_the_guard(emit, tmp_path, monkeypatch):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("bench", path=ledger, iterations_per_second=100.0)
+    monkeypatch.setattr(sys, "argv", [*sys.argv, "--force"])
+    emit.record("bench", path=ledger, iterations_per_second=10.0)
+    assert read_ledger(ledger)["bench"]["iterations_per_second"] == 10.0
