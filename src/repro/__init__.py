@@ -44,7 +44,7 @@ from repro.core.compression import CompressionSimulation, CompressionTrace
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.core.vector_chain import VectorCompressionChain
-from repro.amoebot.system import AmoebotSystem
+from repro.amoebot import AmoebotSystem, FastAmoebotSystem, create_system
 from repro.algorithms.expansion import ExpansionSimulation
 from repro.runtime import (
     ChainJob,
@@ -57,7 +57,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",
@@ -77,6 +77,8 @@ __all__ = [
     "FastCompressionChain",
     "VectorCompressionChain",
     "AmoebotSystem",
+    "FastAmoebotSystem",
+    "create_system",
     "ExpansionSimulation",
     "ChainJob",
     "ChainResult",

@@ -54,6 +54,11 @@ class PhototaxingSystem:
         in ``(0, 1]``; 1 disables the light response (control runs).
     seed:
         Seed or generator for reproducibility.
+    engine:
+        Distributed engine; only ``"reference"`` is supported (the
+        per-activation thinning hook does not exist in the table-driven
+        engine's hot loop), and anything else raises
+        :class:`~repro.errors.AlgorithmError`.
     """
 
     def __init__(
@@ -63,7 +68,19 @@ class PhototaxingSystem:
         light_direction: Tuple[float, float] = (1.0, 0.0),
         dazzle_factor: float = 0.25,
         seed: RandomState = None,
+        engine: str = "reference",
     ) -> None:
+        if engine != "reference":
+            # The dazzle mechanism thins individual activations between
+            # scheduler.next() and the decision rule — a hook only the
+            # object simulator exposes.  Porting phototaxing to the
+            # table-driven engine means teaching its hot loop per-particle
+            # thinning; until then, fail loudly rather than silently
+            # running a different model.
+            raise AlgorithmError(
+                f"phototaxing only supports the reference amoebot engine "
+                f"(per-activation thinning hooks); got engine={engine!r}"
+            )
         if not 0 < dazzle_factor <= 1:
             raise AlgorithmError(f"dazzle_factor must lie in (0, 1], got {dazzle_factor}")
         norm = float(np.hypot(*light_direction))

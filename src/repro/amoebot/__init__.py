@@ -20,9 +20,50 @@ from repro.amoebot.local_algorithm import (
     NeighborhoodView,
 )
 from repro.amoebot.system import AmoebotSystem
+from repro.amoebot.fast_system import FastAmoebotSystem
 from repro.amoebot.faults import ByzantineFlagLiar, CrashFaultInjector, FaultPlan
+from repro.errors import ConfigurationError as _ConfigurationError
+
+#: The distributed-runtime engines selectable via :func:`create_system`.
+AMOEBOT_ENGINES = {
+    "reference": AmoebotSystem,
+    "fast": FastAmoebotSystem,
+}
+
+
+def create_system(
+    initial,
+    lam,
+    seed=None,
+    rates=None,
+    engine="reference",
+    draw_block=None,
+):
+    """Build an amoebot system with the chosen engine.
+
+    ``engine="reference"`` returns the transparent object simulator
+    (:class:`AmoebotSystem`); ``engine="fast"`` the table-driven
+    array engine (:class:`FastAmoebotSystem`).  Both consume the shared
+    batched randomness protocol, so equal seeds (and equal
+    ``draw_block``) produce bit-identical trajectories — the contract
+    enforced by the amoebot differential-testing harness.
+    """
+    try:
+        factory = AMOEBOT_ENGINES[engine]
+    except KeyError:
+        raise _ConfigurationError(
+            f"unknown amoebot engine {engine!r}; expected one of {sorted(AMOEBOT_ENGINES)}"
+        ) from None
+    kwargs = {}
+    if draw_block is not None:
+        kwargs["draw_block"] = draw_block
+    return factory(initial, lam=lam, seed=seed, rates=rates, **kwargs)
+
 
 __all__ = [
+    "AMOEBOT_ENGINES",
+    "create_system",
+    "FastAmoebotSystem",
     "Particle",
     "ParticleState",
     "Activation",

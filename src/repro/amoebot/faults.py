@@ -14,6 +14,12 @@ self-organizing particle systems to meaningfully tolerate faults:
 This module packages those two behaviours as injectable fault plans so
 experiments can crash a random subset of particles mid-run and measure how
 well the remaining system compresses (experiment E13).
+
+The injectors are engine-agnostic: they drive systems through the shared
+observation/fault API (``particle_ids``, ``crash``, ``mark_byzantine``),
+so one seeded fault plan produces bit-identical runs under
+``engine="reference"`` and ``engine="fast"`` (pinned by
+``tests/amoebot/test_faults.py``).
 """
 
 from __future__ import annotations
@@ -61,7 +67,7 @@ class CrashFaultInjector:
             return False
         rng = make_rng(self.seed)
         count = int(round(self.fraction * system.n))
-        candidates = sorted(system.particles)
+        candidates = system.particle_ids
         chosen = sorted(rng.choice(candidates, size=count, replace=False).tolist()) if count else []
         for particle_id in chosen:
             system.crash(int(particle_id))
@@ -95,7 +101,7 @@ class ByzantineFlagLiar:
             return False
         rng = make_rng(self.seed)
         count = int(round(self.fraction * system.n))
-        candidates = sorted(system.particles)
+        candidates = system.particle_ids
         chosen = sorted(rng.choice(candidates, size=count, replace=False).tolist()) if count else []
         for particle_id in chosen:
             system.mark_byzantine(int(particle_id))

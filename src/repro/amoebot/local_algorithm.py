@@ -130,15 +130,34 @@ class CompressionAlgorithm:
         self.lam = float(lam)
 
     def on_activate(self, view: NeighborhoodView, rng: np.random.Generator) -> Action:
-        """Execute one activation of Algorithm A and return the chosen action."""
+        """Execute one activation of Algorithm A, drawing directly from ``rng``.
+
+        Convenience entry point for callers that drive activations
+        themselves (e.g. the phototaxing wrapper): one direction and one
+        uniform are drawn unconditionally, mirroring the engines' batched
+        one-pair-per-activation protocol, and passed to :meth:`decide`.
+        """
+        direction_index = int(rng.integers(0, 6))
+        uniform = float(rng.random())
+        return self.decide(view, direction_index, uniform)
+
+    def decide(self, view: NeighborhoodView, direction_index: int, uniform: float) -> Action:
+        """Execute one activation of Algorithm A as a pure function of its draws.
+
+        Both amoebot engines feed this rule one ``(direction, uniform)``
+        pair per activation from the shared
+        :class:`repro.rng.BatchedActivationDraws` tape — a contracted
+        particle consumes the direction, an expanded one the uniform —
+        which is what keeps their seeded trajectories bit-identical.
+        """
         if view.head is None:
-            return self._contracted_step(view, rng)
-        return self._expanded_step(view, rng)
+            return self._contracted_step(view, direction_index)
+        return self._expanded_step(view, uniform)
 
     # ----------------------------- contracted ----------------------------- #
-    def _contracted_step(self, view: NeighborhoodView, rng: np.random.Generator) -> Action:
+    def _contracted_step(self, view: NeighborhoodView, direction_index: int) -> Action:
         location = view.tail
-        direction = DIRECTIONS[int(rng.integers(0, 6))]
+        direction = DIRECTIONS[direction_index]
         target = add(location, direction)
         if view.is_occupied(target):
             return Idle()
@@ -157,7 +176,7 @@ class CompressionAlgorithm:
         return not view.has_expanded_neighbor()
 
     # ------------------------------ expanded ------------------------------ #
-    def _expanded_step(self, view: NeighborhoodView, rng: np.random.Generator) -> Action:
+    def _expanded_step(self, view: NeighborhoodView, uniform: float) -> Action:
         tail, head = view.tail, view.head
         assert head is not None
         effective = view.effective_occupied()
@@ -173,7 +192,6 @@ class CompressionAlgorithm:
             return ContractBack()
         if not satisfies_either_property(effective, tail, head):
             return ContractBack()
-        q = float(rng.random())
-        if q < self.lam ** (neighbors_at_head - neighbors_at_tail):
+        if uniform < self.lam ** (neighbors_at_head - neighbors_at_tail):
             return ContractForward()
         return ContractBack()

@@ -39,7 +39,12 @@ from repro.errors import ConfigurationError, SchedulerError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.geometry import max_perimeter, min_perimeter
 from repro.lattice.triangular import Node, neighbors
-from repro.rng import RandomState, make_rng
+from repro.rng import (
+    DEFAULT_ACTIVATION_BLOCK,
+    BatchedActivationDraws,
+    RandomState,
+    make_rng,
+)
 
 
 @dataclass
@@ -69,6 +74,10 @@ class AmoebotSystem:
     rates:
         Optional per-particle Poisson rates keyed by particle identifier
         (identifiers are assigned in sorted node order, starting at 0).
+    draw_block:
+        Block size of the batched randomness tapes (scheduler race and
+        per-activation ``(direction, uniform)`` pairs).  Engines being
+        compared in differential tests must use the same value.
     """
 
     def __init__(
@@ -77,6 +86,7 @@ class AmoebotSystem:
         lam: float,
         seed: RandomState = None,
         rates: Optional[Dict[int, float]] = None,
+        draw_block: int = DEFAULT_ACTIVATION_BLOCK,
     ) -> None:
         if not initial.is_connected:
             raise ConfigurationError("the initial configuration must be connected")
@@ -96,28 +106,54 @@ class AmoebotSystem:
         # ``_apply`` updates both in lockstep.
         self.grid = OccupancyGrid(sorted(initial.nodes))
         self.scheduler = PoissonScheduler(
-            sorted(self.particles), rates=rates, seed=self._rng
+            sorted(self.particles), rates=rates, seed=self._rng, draw_block=draw_block
         )
+        # One (direction, uniform) pair per delivered activation, consumed
+        # unconditionally — the shared protocol that keeps this simulator
+        # and FastAmoebotSystem bit-identical for equal seeds.
+        self._draws = BatchedActivationDraws(self._rng, block=draw_block)
         self.stats = SystemStats()
         self.n = len(self.particles)
         self._pmin = min_perimeter(self.n)
         self._pmax = max_perimeter(self.n)
+        # Metric caches; _apply invalidates them on applied actions so the
+        # metrics polling inside run-loops stops being O(n) per call.
+        self._occupied_cache: Optional[frozenset[Node]] = frozenset(self._occupancy)
+        self._configuration_cache: Optional[ParticleConfiguration] = initial
+        self._perimeter_cache: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Observation
     # ------------------------------------------------------------------ #
     @property
     def configuration(self) -> ParticleConfiguration:
-        """The current configuration: tail locations only (Section 2.2)."""
-        return ParticleConfiguration(p.tail for p in self.particles.values())
+        """The current configuration: tail locations only (Section 2.2).
+
+        Cached between tail-changing actions (only a completed move —
+        ``ContractForward`` — moves a tail).
+        """
+        if self._configuration_cache is None:
+            self._configuration_cache = ParticleConfiguration(
+                p.tail for p in self.particles.values()
+            )
+        return self._configuration_cache
+
+    @property
+    def particle_ids(self) -> List[int]:
+        """All particle identifiers, sorted (shared with the fast engine)."""
+        return sorted(self.particles)
 
     def occupied_nodes(self) -> frozenset[Node]:
-        """All nodes currently occupied (heads and tails)."""
-        return frozenset(self._occupancy)
+        """All nodes currently occupied (heads and tails); cached between actions."""
+        if self._occupied_cache is None:
+            self._occupied_cache = frozenset(self._occupancy)
+        return self._occupied_cache
 
     def perimeter(self) -> int:
-        """The perimeter of the tail configuration."""
-        return self.configuration.perimeter
+        """The perimeter of the tail configuration (cached between completed moves)."""
+        if self._perimeter_cache is None:
+            self._perimeter_cache = self.configuration.perimeter
+        return self._perimeter_cache
 
     def compression_ratio(self) -> float:
         """``p(sigma) / pmin(n)`` for the current tail configuration."""
@@ -129,12 +165,25 @@ class AmoebotSystem:
         """Identifiers of currently expanded particles."""
         return [p.identifier for p in self.particles.values() if p.is_expanded]
 
+    def tails(self) -> List[Node]:
+        """Tail node per particle, in identifier order (differential harness probe)."""
+        return [self.particles[i].tail for i in sorted(self.particles)]
+
+    def heads(self) -> List[Optional[Node]]:
+        """Head node (or ``None``) per particle, in identifier order."""
+        return [self.particles[i].head for i in sorted(self.particles)]
+
+    def flags(self) -> List[bool]:
+        """Flag bit per particle, in identifier order."""
+        return [self.particles[i].flag for i in sorted(self.particles)]
+
     # ------------------------------------------------------------------ #
     # Dynamics
     # ------------------------------------------------------------------ #
     def step(self) -> Action:
         """Deliver one activation to the next scheduled particle and apply its action."""
         activation = self.scheduler.next()
+        direction, uniform = self._draws.draw()
         particle = self.particles[activation.particle_id]
         self.stats.activations += 1
         if particle.crashed:
@@ -144,7 +193,7 @@ class AmoebotSystem:
             action = self._byzantine_action(particle)
         else:
             view = self._view(particle)
-            action = self.algorithm.on_activate(view, self._rng)
+            action = self.algorithm.decide(view, direction, uniform)
         self._apply(particle, action)
         return action
 
@@ -246,6 +295,7 @@ class AmoebotSystem:
             self._occupancy[action.target] = (particle.identifier, "head")
             self._occupancy[particle.tail] = (particle.identifier, "tail")
             self.grid.add(action.target)
+            self._occupied_cache = None  # tails unchanged: keep configuration cache
             particle.flag = self.algorithm.flag_after_expansion(self._view(particle))
             self.stats.expansions += 1
             return
@@ -259,6 +309,9 @@ class AmoebotSystem:
             self.grid.remove(vacated)
             particle.flag = False
             self.stats.completed_moves += 1
+            self._occupied_cache = None
+            self._configuration_cache = None
+            self._perimeter_cache = None
             return
         if isinstance(action, ContractBack):
             if particle.head is None:
@@ -270,5 +323,6 @@ class AmoebotSystem:
             self.grid.remove(vacated)
             particle.flag = False
             self.stats.aborted_moves += 1
+            self._occupied_cache = None  # tails unchanged: keep configuration cache
             return
         raise SchedulerError(f"unknown action {action!r}")

@@ -70,7 +70,8 @@ from repro.core.energy import (
 )
 from repro.core.metropolis import MetropolisFilter, acceptance_probability
 from repro.core.markov_chain import CompressionMarkovChain, StepResult
-from repro.core.fast_chain import FastCompressionChain, OccupancyGrid, move_tables_array
+from repro.core.fast_chain import FastCompressionChain, OccupancyGrid
+from repro.core.moves import move_tables, move_tables_array
 from repro.core.vector_chain import VectorCompressionChain
 from repro.core.compression import ENGINES, CompressionSimulation, CompressionTrace, TracePoint
 from repro.core.stationary import (
@@ -107,6 +108,7 @@ __all__ = [
     "FastCompressionChain",
     "OccupancyGrid",
     "VectorCompressionChain",
+    "move_tables",
     "move_tables_array",
     "ENGINES",
     "CompressionSimulation",

@@ -44,7 +44,7 @@ harness is the contract that keeps the two interchangeable.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -53,16 +53,13 @@ from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.triangular import DIRECTIONS, Node, neighbors, nodes_bounding_box
 from repro.core.markov_chain import REJECTION_REASONS, StepResult
-from repro.core.moves import Move
-from repro.core.properties import joint_neighborhood, satisfies_either_property
-from repro.rng import DEFAULT_DRAW_BLOCK, BatchedMoveDraws, RandomState, make_rng
-
-#: Ring offsets per direction: ``RING_OFFSETS[d]`` is the eight-node joint
-#: neighborhood of the edge from the origin to ``DIRECTIONS[d]``, in the
-#: canonical order of :func:`repro.core.properties.joint_neighborhood`.
-RING_OFFSETS: Tuple[Tuple[Node, ...], ...] = tuple(
-    joint_neighborhood((0, 0), delta) for delta in DIRECTIONS
+from repro.core.moves import (  # re-exported for backward compatibility
+    RING_OFFSETS,
+    Move,
+    move_tables,
+    move_tables_array,
 )
+from repro.rng import DEFAULT_DRAW_BLOCK, BatchedMoveDraws, RandomState, make_rng
 
 #: Free border (in cells) left around the occupied bounding box whenever an
 #: :class:`OccupancyGrid` is (re)allocated.
@@ -72,62 +69,6 @@ DEFAULT_GRID_MARGIN = 32
 #: inside the band triggers a reallocation, which keeps every occupied cell
 #: far enough from the border that all offset reads stay in bounds.
 GUARD_BAND = 4
-
-_MOVE_TABLES: Optional[Tuple[List[int], List[int], List[bool]]] = None
-
-_MOVE_TABLES_ARRAY: Optional[np.ndarray] = None
-
-
-def move_tables() -> Tuple[List[int], List[int], List[bool]]:
-    """Return the three 256-entry move-resolution tables, building them once.
-
-    For every 8-bit occupancy mask of the ring around a move edge the
-    tables give, in order: the particle's neighbor count at the source
-    (``e`` in Algorithm M's Condition (3)), its neighbor count at the
-    target (``e'``), and whether the pair satisfies Property 1 or
-    Property 2.  The property entries are computed by running the
-    *reference* property implementation on an explicit node set, which is
-    what guarantees fast/reference equivalence.
-
-    Both properties and the neighbor counts are invariant under lattice
-    rotation, so one table built for the East direction serves all six
-    (asserted for every direction by the equivalence test suite).
-    """
-    global _MOVE_TABLES
-    if _MOVE_TABLES is None:
-        ring = RING_OFFSETS[0]
-        source: Node = (0, 0)
-        target: Node = DIRECTIONS[0]
-        source_bits = [k for k, node in enumerate(ring) if node in neighbors(source)]
-        target_bits = [k for k, node in enumerate(ring) if node in neighbors(target)]
-        neighbors_before: List[int] = []
-        neighbors_after: List[int] = []
-        property_ok: List[bool] = []
-        for mask in range(256):
-            neighbors_before.append(sum(mask >> k & 1 for k in source_bits))
-            neighbors_after.append(sum(mask >> k & 1 for k in target_bits))
-            occupied = {source}
-            occupied.update(ring[k] for k in range(8) if mask >> k & 1)
-            property_ok.append(satisfies_either_property(occupied, source, target))
-        _MOVE_TABLES = (neighbors_before, neighbors_after, property_ok)
-    return _MOVE_TABLES
-
-
-def move_tables_array() -> np.ndarray:
-    """The move tables as one read-only ``(256, 3)`` ``int16`` array.
-
-    Column 0 is the source neighbor count, column 1 the target neighbor
-    count, column 2 the Property 1/2 verdict as ``0``/``1``.  Built from
-    (and memoized alongside) :func:`move_tables`, so the vector engine's
-    ``np.take`` path and the scalar engines' list lookups resolve every
-    mask from the same reference-generated source of truth.
-    """
-    global _MOVE_TABLES_ARRAY
-    if _MOVE_TABLES_ARRAY is None:
-        array = np.array(move_tables(), dtype=np.int16).T
-        array.setflags(write=False)
-        _MOVE_TABLES_ARRAY = array
-    return _MOVE_TABLES_ARRAY
 
 
 class OccupancyGrid:

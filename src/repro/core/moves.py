@@ -20,18 +20,92 @@ Condition (3).  The stochastic part lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import AbstractSet, Iterable, List, Literal, Optional
+from typing import AbstractSet, Iterable, List, Literal, Optional, Tuple
+
+import numpy as np
 
 from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
 from repro.errors import InvalidMoveError
-from repro.lattice.triangular import Node, are_adjacent, neighbors
+from repro.lattice.triangular import DIRECTIONS, Node, are_adjacent, neighbors
 from repro.core.properties import (
+    joint_neighborhood,
     satisfies_either_property,
     satisfies_property_1,
     satisfies_property_2,
 )
 
 MoveProperty = Literal["property1", "property2", "invalid"]
+
+#: Ring offsets per direction: ``RING_OFFSETS[d]`` is the eight-node joint
+#: neighborhood of the edge from the origin to ``DIRECTIONS[d]``, in the
+#: canonical order of :func:`repro.core.properties.joint_neighborhood`.
+RING_OFFSETS: Tuple[Tuple[Node, ...], ...] = tuple(
+    joint_neighborhood((0, 0), delta) for delta in DIRECTIONS
+)
+
+_MOVE_TABLES: Optional[Tuple[List[int], List[int], List[bool]]] = None
+
+_MOVE_TABLES_ARRAY: Optional[np.ndarray] = None
+
+
+def move_tables() -> Tuple[List[int], List[int], List[bool]]:
+    """Return the three 256-entry move-resolution tables, building them once.
+
+    For every 8-bit occupancy mask of the ring around a move edge the
+    tables give, in order: the particle's neighbor count at the source
+    (``e`` in Algorithm M's Condition (3)), its neighbor count at the
+    target (``e'``), and whether the pair satisfies Property 1 or
+    Property 2.  The property entries are computed by running the
+    *reference* property implementation on an explicit node set, which is
+    what guarantees fast/reference equivalence.
+
+    Both properties and the neighbor counts are invariant under lattice
+    rotation, so one table built for the East direction serves all six
+    (asserted for every direction by the equivalence test suite).
+
+    These tables are the shared source of truth for every table-driven
+    engine in the repo: the scalar and vector chain engines resolve
+    Algorithm M proposals through them, and the distributed
+    :class:`~repro.amoebot.fast_system.FastAmoebotSystem` resolves the
+    expanded step of Algorithm A through the very same masks (the
+    expanded particle's tail/head pair is the move edge and the
+    ``N*``-effective occupancy of the ring is the mask).
+    """
+    global _MOVE_TABLES
+    if _MOVE_TABLES is None:
+        ring = RING_OFFSETS[0]
+        source: Node = (0, 0)
+        target: Node = DIRECTIONS[0]
+        source_bits = [k for k, node in enumerate(ring) if node in neighbors(source)]
+        target_bits = [k for k, node in enumerate(ring) if node in neighbors(target)]
+        neighbors_before: List[int] = []
+        neighbors_after: List[int] = []
+        property_ok: List[bool] = []
+        for mask in range(256):
+            neighbors_before.append(sum(mask >> k & 1 for k in source_bits))
+            neighbors_after.append(sum(mask >> k & 1 for k in target_bits))
+            occupied = {source}
+            occupied.update(ring[k] for k in range(8) if mask >> k & 1)
+            property_ok.append(satisfies_either_property(occupied, source, target))
+        _MOVE_TABLES = (neighbors_before, neighbors_after, property_ok)
+    return _MOVE_TABLES
+
+
+def move_tables_array() -> np.ndarray:
+    """The move tables as one read-only ``(256, 3)`` ``int16`` array.
+
+    Column 0 is the source neighbor count, column 1 the target neighbor
+    count, column 2 the Property 1/2 verdict as ``0``/``1``.  Built from
+    (and memoized alongside) :func:`move_tables`, so the vector engine's
+    ``np.take`` path and the scalar engines' list lookups resolve every
+    mask from the same reference-generated source of truth.
+    """
+    global _MOVE_TABLES_ARRAY
+    if _MOVE_TABLES_ARRAY is None:
+        array = np.array(move_tables(), dtype=np.int16).T
+        array.setflags(write=False)
+        _MOVE_TABLES_ARRAY = array
+    return _MOVE_TABLES_ARRAY
 
 
 @dataclass(frozen=True)

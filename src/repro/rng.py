@@ -19,6 +19,14 @@ trajectories.  The tape is stored as numpy arrays (consumed wholesale by
 the vector engine's block passes) with a memoized plain-list view for
 the scalar engines.
 
+The distributed amoebot layer has its own instance of the same idea:
+:class:`BatchedActivationDraws` tapes one ``(direction, uniform)`` pair
+per delivered activation, and the batched
+:class:`~repro.amoebot.scheduler.PoissonScheduler` pre-generates
+``(winner, time)`` pairs of the Poisson race, which together make the
+object simulator and the table-driven fast engine bit-identical for
+equal seeds.
+
 The same protocol is what makes the parallel ensemble runner
 (:mod:`repro.runtime`) exact: every ensemble job carries its own plain
 integer seed (derived up front with :func:`spawn_seeds`) and builds its own
@@ -41,6 +49,12 @@ RandomState = Union[None, int, np.random.Generator]
 
 #: Default number of (index, direction, uniform) triples generated per batch.
 DEFAULT_DRAW_BLOCK = 1024
+
+#: Default block size of the amoebot layer's activation tapes (the scheduler
+#: race and the (direction, uniform) pairs).  Separate from
+#: :data:`DEFAULT_DRAW_BLOCK` so retuning the distributed runtime never
+#: perturbs the chain engines' pinned draw protocol.
+DEFAULT_ACTIVATION_BLOCK = 4096
 
 
 class BatchedMoveDraws:
@@ -181,6 +195,74 @@ class BatchedMoveDraws:
         cursor = self.cursor
         self.cursor = cursor + 1
         return indices[cursor], directions[cursor], uniforms[cursor]
+
+
+class BatchedActivationDraws:
+    """Block-prefetched ``(direction, uniform)`` pairs for the amoebot engines.
+
+    The distributed simulator's analogue of :class:`BatchedMoveDraws`:
+    per delivered activation both amoebot engines
+    (:class:`~repro.amoebot.system.AmoebotSystem` and
+    :class:`~repro.amoebot.fast_system.FastAmoebotSystem`) consume exactly
+    one pair — a direction index in ``[0, 6)`` and a uniform in ``[0, 1)``
+    — regardless of what the activation does with it (a contracted
+    particle uses the direction, an expanded particle the uniform, an idle
+    or Byzantine activation neither).  Unconditional consumption keeps the
+    tape position a pure function of the activation count, which is what
+    lets the table-driven engine replay the object simulator's randomness
+    bit for bit.
+
+    Each refill draws ``block`` direction indices followed by ``block``
+    uniforms, so equally seeded tapes with equal block sizes replay the
+    same stream regardless of who consumes them.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tape = BatchedActivationDraws(np.random.default_rng(0), block=4)
+    >>> direction, uniform = tape.draw()
+    >>> 0 <= direction < 6 and 0.0 <= uniform < 1.0
+    True
+    >>> twin = BatchedActivationDraws(np.random.default_rng(0), block=4)
+    >>> twin.draw() == (direction, uniform)
+    True
+    """
+
+    __slots__ = ("_rng", "block", "directions", "uniforms", "cursor", "size", "_lists")
+
+    def __init__(self, rng: np.random.Generator, block: int = DEFAULT_ACTIVATION_BLOCK) -> None:
+        if block <= 0:
+            raise ValueError(f"block size must be positive, got {block}")
+        self._rng = rng
+        self.block = block
+        self.directions: np.ndarray = np.empty(0, dtype=np.int64)
+        self.uniforms: np.ndarray = np.empty(0, dtype=np.float64)
+        self.cursor = 0
+        self.size = 0
+        self._lists: Optional[Tuple[List[int], List[float]]] = None
+
+    def refill(self) -> None:
+        """Materialize the next block, discarding any unread remainder."""
+        self.directions = self._rng.integers(0, 6, size=self.block)
+        self.uniforms = self._rng.random(self.block)
+        self.cursor = 0
+        self.size = self.block
+        self._lists = None
+
+    def lists(self) -> Tuple[List[int], List[float]]:
+        """The materialized pairs as plain Python lists (memoized per refill)."""
+        if self._lists is None:
+            self._lists = (self.directions.tolist(), self.uniforms.tolist())
+        return self._lists
+
+    def draw(self) -> Tuple[int, float]:
+        """Consume and return the next ``(direction, uniform)`` pair."""
+        if self.cursor >= self.size:
+            self.refill()
+        directions, uniforms = self.lists()
+        cursor = self.cursor
+        self.cursor = cursor + 1
+        return directions[cursor], uniforms[cursor]
 
 
 def make_rng(seed: RandomState = None) -> np.random.Generator:

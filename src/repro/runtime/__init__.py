@@ -25,11 +25,16 @@ Quickstart::
 """
 
 from repro.runtime.jobs import (
+    AMOEBOT_JOB_KIND,
     JOB_KINDS,
+    AmoebotJob,
     ChainJob,
     ChainResult,
+    amoebot_replica_jobs,
+    execute_job,
     lambda_sweep_jobs,
     replica_jobs,
+    run_amoebot_job,
     run_job,
     scaling_time_jobs,
 )
@@ -51,9 +56,14 @@ from repro.runtime.runner import (
 )
 
 __all__ = [
+    "AMOEBOT_JOB_KIND",
     "JOB_KINDS",
+    "AmoebotJob",
     "ChainJob",
     "ChainResult",
+    "amoebot_replica_jobs",
+    "execute_job",
+    "run_amoebot_job",
     "lambda_sweep_jobs",
     "replica_jobs",
     "run_job",

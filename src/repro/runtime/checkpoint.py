@@ -32,12 +32,12 @@ from repro.io.serialization import (
     trace_from_json,
     trace_to_json,
 )
-from repro.runtime.jobs import ChainJob, ChainResult
+from repro.runtime.jobs import AmoebotJob, ChainJob, ChainResult, Job
 
 PathLike = Union[str, Path]
 
 
-def job_to_json(job: ChainJob) -> Dict[str, Any]:
+def job_to_json(job: Job) -> Dict[str, Any]:
     """Serialize a job to its canonical JSON form (the checkpoint fingerprint).
 
     The payload is round-tripped through the JSON encoder so that values
@@ -46,22 +46,38 @@ def job_to_json(job: ChainJob) -> Dict[str, Any]:
     stores; otherwise resuming would spuriously refuse its own output.
     Non-JSON-serializable metadata raises :class:`SerializationError` here,
     at submission time, rather than corrupting a checkpoint.
+
+    Distributed-simulator jobs carry a ``job_type: "amoebot"`` tag; chain
+    jobs stay untagged so documents written before the tag existed keep
+    resuming.
     """
     try:
-        return json.loads(json.dumps(asdict(job)))
+        payload = json.loads(json.dumps(asdict(job)))
     except (TypeError, ValueError) as exc:
         raise SerializationError(
             f"job {job.job_id!r} is not JSON-serializable "
             f"(metadata must be plain JSON types): {exc}"
         ) from exc
+    if isinstance(job, AmoebotJob):
+        payload["job_type"] = "amoebot"
+    return payload
 
 
-def job_from_json(payload: Dict[str, Any]) -> ChainJob:
+def job_from_json(payload: Dict[str, Any]) -> Job:
     """Rebuild a job from :func:`job_to_json` output."""
     try:
         data = dict(payload)
+        job_type = data.pop("job_type", "chain")
         if data.get("initial_nodes") is not None:
             data["initial_nodes"] = tuple((int(x), int(y)) for x, y in data["initial_nodes"])
+        if job_type == "amoebot":
+            if data.get("rates") is not None:
+                data["rates"] = tuple(
+                    (int(pid), float(rate)) for pid, rate in data["rates"]
+                )
+            return AmoebotJob(**data)
+        if job_type != "chain":
+            raise SerializationError(f"unknown job_type {job_type!r}")
         return ChainJob(**data)
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise SerializationError(f"malformed job payload: {exc}") from exc

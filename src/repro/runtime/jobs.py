@@ -23,16 +23,25 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.compression import ENGINES, CompressionSimulation, CompressionTrace
+from repro.core.compression import (
+    ENGINES,
+    CompressionSimulation,
+    CompressionTrace,
+    TracePoint,
+)
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.geometry import max_perimeter, min_perimeter
 from repro.lattice.shapes import line as line_shape
 from repro.rng import spawn_seeds
 
 #: The measurement kinds a job can request.
 JOB_KINDS = ("trace", "compression_time")
+
+#: The measurement kind of distributed-simulator jobs.
+AMOEBOT_JOB_KIND = "amoebot_trace"
 
 #: Allowed characters in a job id (ids double as checkpoint file names).
 _JOB_ID_PATTERN = re.compile(r"^[A-Za-z0-9._\-]+$")
@@ -221,6 +230,210 @@ def run_job(job: ChainJob) -> ChainResult:
         compression_time=compression_time,
         wall_seconds=time.perf_counter() - started,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Distributed-simulator jobs
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AmoebotJob:
+    """One independent distributed-simulator (Algorithm A) run in an ensemble.
+
+    The amoebot analogue of :class:`ChainJob`: a complete, picklable,
+    JSON-serializable description of one seeded
+    :func:`repro.amoebot.create_system` run.  Executing it yields a
+    :class:`ChainResult` whose trace samples the tail configuration's
+    perimeter metrics against the *activation* count, so the existing
+    results table, checkpointing and statistics layers consume
+    distributed-simulator ensembles unchanged.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier within the ensemble (also the checkpoint file
+        stem).
+    lam:
+        Compression bias ``lambda > 0``.
+    seed:
+        Plain integer seed for the system's shared randomness tapes.
+    n:
+        Build the standard line start of ``n`` particles.  Mutually
+        exclusive with ``initial_nodes``.
+    initial_nodes:
+        Explicit starting configuration as a tuple of ``(x, y)`` nodes.
+    engine:
+        Distributed engine: ``"fast"`` (default, table-driven) or
+        ``"reference"`` (object simulator).
+    activations:
+        Number of scheduler activations to deliver.
+    record_every:
+        Trace sampling interval in activations (defaults to
+        ``activations // 100``).
+    rates:
+        Optional non-uniform Poisson rates as ``((particle_id, rate), ...)``
+        pairs (a tuple so the job stays hashable and JSON-canonical).
+    metadata:
+        Free-form JSON-able annotations, flattened into results rows.
+    """
+
+    job_id: str
+    lam: float
+    seed: Optional[int]
+    n: Optional[int] = None
+    initial_nodes: Optional[Tuple[Tuple[int, int], ...]] = None
+    engine: str = "fast"
+    activations: int = 0
+    record_every: Optional[int] = None
+    rates: Optional[Tuple[Tuple[int, float], ...]] = None
+    kind: str = AMOEBOT_JOB_KIND
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.amoebot import AMOEBOT_ENGINES
+
+        if not _JOB_ID_PATTERN.match(self.job_id):
+            raise ConfigurationError(
+                f"job_id must match [A-Za-z0-9._-]+ (it names checkpoint files), "
+                f"got {self.job_id!r}"
+            )
+        if self.engine not in AMOEBOT_ENGINES:
+            raise ConfigurationError(
+                f"unknown amoebot engine {self.engine!r}; "
+                f"expected one of {sorted(AMOEBOT_ENGINES)}"
+            )
+        if self.kind != AMOEBOT_JOB_KIND:
+            raise ConfigurationError(
+                f"amoebot jobs have kind {AMOEBOT_JOB_KIND!r}, got {self.kind!r}"
+            )
+        if (self.n is None) == (self.initial_nodes is None):
+            raise ConfigurationError("exactly one of n / initial_nodes must be given")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"job seeds must be plain integers (picklable, serializable), "
+                f"got {type(self.seed).__name__}"
+            )
+        if self.activations < 0:
+            raise ConfigurationError(
+                f"activations must be non-negative, got {self.activations}"
+            )
+        if self.record_every is not None and self.record_every <= 0:
+            raise ConfigurationError(
+                f"record_every must be positive, got {self.record_every}"
+            )
+
+    def build_initial(self) -> ParticleConfiguration:
+        """Materialize the starting configuration described by the job."""
+        if self.initial_nodes is not None:
+            return ParticleConfiguration(tuple(map(tuple, self.initial_nodes)))
+        return line_shape(self.n)
+
+
+def run_amoebot_job(job: AmoebotJob) -> ChainResult:
+    """Execute one distributed-simulator job to completion.
+
+    Pure in the ensemble sense: the trace and counters depend only on the
+    job (its seed and engine included — and because the engines are
+    bit-identical, the numbers are the same under either engine; only
+    ``wall_seconds`` differs).
+    """
+    from repro.amoebot import create_system
+
+    started = time.perf_counter()
+    initial = job.build_initial()
+    system = create_system(
+        initial,
+        lam=job.lam,
+        seed=job.seed,
+        rates=dict(job.rates) if job.rates is not None else None,
+        engine=job.engine,
+    )
+    n = initial.n
+    pmin = min_perimeter(n)
+    pmax = max_perimeter(n)
+    trace = CompressionTrace(n=n, lam=job.lam)
+
+    def record() -> None:
+        configuration = system.configuration
+        perimeter = system.perimeter()
+        trace.points.append(
+            TracePoint(
+                iteration=system.stats.activations,
+                perimeter=perimeter,
+                edges=configuration.edge_count,
+                holes=len(configuration.holes),
+                alpha=perimeter / pmin if pmin else 1.0,
+                beta=perimeter / pmax if pmax else 0.0,
+            )
+        )
+
+    record()
+    interval = job.record_every or max(1, job.activations // 100)
+    done = 0
+    while done < job.activations:
+        block = min(interval, job.activations - done)
+        system.run(block)
+        done += block
+        record()
+    stats = system.stats
+    return ChainResult(
+        job=job,
+        trace=trace,
+        iterations=stats.activations,
+        accepted_moves=stats.completed_moves,
+        rejection_counts={
+            "expansions": stats.expansions,
+            "aborted_moves": stats.aborted_moves,
+            "idle_activations": stats.idle_activations,
+        },
+        compression_time=None,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+#: Any job the ensemble runner can execute.
+Job = Union["ChainJob", "AmoebotJob"]
+
+
+def execute_job(job: Job) -> ChainResult:
+    """Run any supported job kind; the generic worker entry point."""
+    if isinstance(job, AmoebotJob):
+        return run_amoebot_job(job)
+    return run_job(job)
+
+
+def amoebot_replica_jobs(
+    n: int,
+    lam: float,
+    activations: int,
+    replicas: int,
+    seed: Optional[int] = 0,
+    engine: str = "fast",
+    rates: Optional[Tuple[Tuple[int, float], ...]] = None,
+    record_every: Optional[int] = None,
+) -> List[AmoebotJob]:
+    """Jobs for a distributed-simulator replica ensemble at fixed ``(n, lambda)``.
+
+    Seeds follow the same :func:`repro.rng.spawn_seeds` scheme as the
+    chain builders, so parallel amoebot ensembles are bit-identical to
+    serial ones and growing ``replicas`` keeps existing trajectories.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be at least 1, got {replicas}")
+    seeds = spawn_seeds(seed, replicas)
+    return [
+        AmoebotJob(
+            job_id=f"amoebot-lam{_number_label(lam)}-r{replica}",
+            lam=float(lam),
+            seed=seeds[replica],
+            n=n,
+            engine=engine,
+            activations=activations,
+            record_every=record_every,
+            rates=rates,
+            metadata={"replica": replica},
+        )
+        for replica in range(replicas)
+    ]
 
 
 # ---------------------------------------------------------------------- #

@@ -35,7 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.runtime.checkpoint import EnsembleCheckpoint, PathLike
-from repro.runtime.jobs import ChainJob, ChainResult, run_job
+from repro.runtime.jobs import ChainResult, Job, execute_job
 from repro.runtime.results import ResultsTable
 
 
@@ -88,7 +88,7 @@ class EnsembleProgress:
 class EnsembleResult:
     """Everything an ensemble run produced, in submission order."""
 
-    jobs: List[ChainJob]
+    jobs: List[Job]
     results: List[ChainResult]
     workers: int
     wall_seconds: float
@@ -146,7 +146,7 @@ class EnsembleRunner:
     # ------------------------------------------------------------------ #
     def run(
         self,
-        jobs: Sequence[ChainJob],
+        jobs: Sequence[Job],
         on_result: Optional[Callable[[ChainResult], None]] = None,
         on_progress: Optional[Callable[[EnsembleProgress], None]] = None,
     ) -> EnsembleResult:
@@ -159,7 +159,7 @@ class EnsembleRunner:
         completed/total counts and an ETA estimate.
         """
         jobs = list(jobs)
-        seen: Dict[str, ChainJob] = {}
+        seen: Dict[str, Job] = {}
         for job in jobs:
             if job.job_id in seen:
                 raise ConfigurationError(f"duplicate job_id {job.job_id!r} in ensemble")
@@ -218,11 +218,11 @@ class EnsembleRunner:
         )
         return ensemble
 
-    def _execute(self, pending: Sequence[ChainJob]):
+    def _execute(self, pending: Sequence[Job]):
         """Yield results for pending jobs as they complete."""
         if self.workers == 1 or len(pending) <= 1:
             for job in pending:
-                yield run_job(job)
+                yield execute_job(job)
             return
         context = (
             multiprocessing.get_context(self.start_method)
@@ -231,12 +231,12 @@ class EnsembleRunner:
         )
         workers = min(self.workers, len(pending))
         with context.Pool(processes=workers) as pool:
-            for result in pool.imap_unordered(run_job, pending):
+            for result in pool.imap_unordered(execute_job, pending):
                 yield result
 
 
 def run_ensemble(
-    jobs: Sequence[ChainJob],
+    jobs: Sequence[Job],
     workers: int = 1,
     checkpoint: Optional[Union[PathLike, EnsembleCheckpoint]] = None,
     on_result: Optional[Callable[[ChainResult], None]] = None,

@@ -1,0 +1,100 @@
+"""Fault-model coverage: crash + Byzantine behaviour pinned across engines.
+
+A committed golden fixture (``tests/amoebot/golden/amoebot_faults_*.json``)
+pins one seeded run that marks Byzantine particles, crashes a fraction
+mid-run through the standard injectors, and keeps running — and asserts
+the resulting state is identical under ``engine="reference"`` and
+``engine="fast"``.  This is the regression net for the part of the
+distributed runtime that only exists at this layer (the chain engines
+have no faults).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.amoebot import AMOEBOT_ENGINES, create_system
+from repro.amoebot.faults import ByzantineFlagLiar, CrashFaultInjector, FaultPlan
+from repro.lattice.shapes import line
+
+FIXTURE_PATH = Path(__file__).parent / "golden" / "amoebot_faults_line24_lam4_seed1.json"
+
+
+def run_fault_scenario(engine):
+    """The pinned scenario: byzantine injection, then crashes, then a long run."""
+    with FIXTURE_PATH.open() as fh:
+        golden = json.load(fh)
+    system = create_system(
+        line(golden["n"]),
+        lam=golden["lam"],
+        seed=golden["seed"],
+        engine=engine,
+        draw_block=golden["draw_block"],
+    )
+    byzantine = ByzantineFlagLiar(fraction=golden["byzantine_fraction"], seed=golden["byzantine_seed"])
+    crash = CrashFaultInjector(
+        fraction=golden["crash_fraction"],
+        after_activations=golden["crash_after"],
+        seed=golden["crash_seed"],
+    )
+    plan = FaultPlan(injectors=[byzantine, crash])
+    plan.run(system, activations=golden["activations"], check_every=golden["check_every"])
+    return golden, system, byzantine, crash
+
+
+@pytest.mark.parametrize("engine_name", sorted(AMOEBOT_ENGINES))
+def test_fault_scenario_reproduces_golden_state(engine_name):
+    golden, system, byzantine, crash = run_fault_scenario(engine_name)
+    assert byzantine.byzantine_ids == golden["byzantine_ids"]
+    assert crash.crashed_ids == golden["crashed_ids"]
+    final = golden["final"]
+    assert system.tails() == [tuple(node) for node in final["tails"]]
+    assert system.heads() == [
+        None if node is None else tuple(node) for node in final["heads"]
+    ]
+    assert system.flags() == final["flags"]
+    assert system.perimeter() == final["perimeter"]
+    assert system.scheduler.time == final["time"]
+    stats = system.stats
+    assert [
+        stats.activations,
+        stats.expansions,
+        stats.completed_moves,
+        stats.aborted_moves,
+        stats.idle_activations,
+    ] == final["stats"]
+
+
+def test_fault_scenario_identical_between_engines():
+    """Beyond the fixture: every fault marker agrees particle-by-particle."""
+    _, reference, _, _ = run_fault_scenario("reference")
+    _, fast, _, _ = run_fault_scenario("fast")
+    for pid in fast.particle_ids:
+        assert fast.is_crashed(pid) == reference.particles[pid].crashed
+        assert fast.is_byzantine(pid) == reference.particles[pid].byzantine
+    assert fast.occupied_nodes() == reference.occupied_nodes()
+    assert fast.configuration == reference.configuration
+
+
+@pytest.mark.parametrize("engine_name", sorted(AMOEBOT_ENGINES))
+def test_crashed_particles_stay_fixed(engine_name):
+    system = create_system(line(12), lam=4.0, seed=10, engine=engine_name)
+    system.crash(3)
+    position = system.tails()[3]
+    system.run(15_000)
+    assert system.tails()[3] == position
+    assert system.configuration.is_connected
+
+
+@pytest.mark.parametrize("engine_name", sorted(AMOEBOT_ENGINES))
+def test_byzantine_particles_keep_invariants(engine_name):
+    system = create_system(line(15), lam=4.0, seed=12, engine=engine_name)
+    injector = ByzantineFlagLiar(fraction=0.2, seed=2)
+    injector.maybe_inject(system)
+    assert len(injector.byzantine_ids) == 3
+    system.run(15_000)
+    configuration = system.configuration
+    assert configuration.is_connected
+    assert configuration.is_hole_free
+    assert configuration.n == 15

@@ -118,3 +118,54 @@ class TestPoissonScheduler:
         b = PoissonScheduler(list(range(3)), seed=8)
         for _ in range(100):
             assert a.next() == b.next()
+
+    def test_non_uniform_rates_seeded_regression(self):
+        """Pin the non-uniform (searchsorted race) path for one seed.
+
+        The uniform and non-uniform paths consume the generator
+        differently (integer winners vs uniforms over cumulative rates),
+        so this guards the branch the uniform-rate tests never touch.
+        """
+        scheduler = PoissonScheduler([0, 1, 2], rates={0: 4.0, 2: 0.5}, seed=42)
+        winners = [scheduler.next().particle_id for _ in range(20)]
+        assert winners == [1, 0, 1, 0, 0, 2, 1, 1, 0, 0, 0, 2, 0, 1, 0, 0, 0, 0, 1, 0]
+        twin = PoissonScheduler([0, 1, 2], rates={0: 4.0, 2: 0.5}, seed=42)
+        replay = [twin.next() for _ in range(20)]
+        assert [activation.particle_id for activation in replay] == winners
+        assert replay[-1].time == scheduler.time
+
+    def test_non_uniform_rates_round_tracking(self):
+        scheduler = PoissonScheduler([0, 1, 2], rates={0: 10.0, 1: 0.2}, seed=9)
+        seen = set()
+        while scheduler.rounds_completed == 0:
+            seen.add(scheduler.next().particle_id)
+        assert seen == {0, 1, 2}
+
+    def test_rounds_resume_after_all_particles_were_paused(self):
+        """Pausing everyone stalls the round cycle; resuming must restart it."""
+        scheduler = PoissonScheduler([0, 1, 2], seed=44)
+        for _ in range(20):
+            scheduler.next()
+        for pid in (0, 1, 2):
+            scheduler.pause(pid)
+        scheduler.resume(0)
+        before = scheduler.rounds_completed
+        for _ in range(5):
+            scheduler.next()
+        assert scheduler.rounds_completed > before
+
+    def test_pause_discards_block_deterministically(self):
+        """Crashing mid-block discards the unread remainder identically
+        for every consumer, so fault runs stay reproducible."""
+
+        def run(pause_at):
+            scheduler = PoissonScheduler(list(range(5)), seed=33)
+            out = []
+            for k in range(300):
+                if k == pause_at:
+                    scheduler.pause(2)
+                out.append(scheduler.next().particle_id)
+            return out
+
+        assert run(50) == run(50)
+        assert 2 not in run(0)

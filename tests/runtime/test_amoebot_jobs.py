@@ -1,0 +1,182 @@
+"""Distributed-simulator jobs through the ensemble runner.
+
+The amoebot engines join the runtime layer exactly like the chain
+engines did: picklable :class:`AmoebotJob` descriptions with plain
+integer seeds, serial/parallel bit-identity, checkpoint resume with
+fingerprint validation, and results flowing into the shared
+:class:`ResultsTable`.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, SerializationError
+from repro.runtime import (
+    AmoebotJob,
+    amoebot_replica_jobs,
+    execute_job,
+    run_amoebot_job,
+    run_ensemble,
+)
+from repro.runtime.checkpoint import job_from_json, job_to_json
+
+
+def small_jobs(engine="fast", replicas=3, activations=8_000):
+    return amoebot_replica_jobs(
+        n=20, lam=4.0, activations=activations, replicas=replicas, seed=0, engine=engine
+    )
+
+
+class TestJobValidation:
+    def test_engine_validated(self):
+        with pytest.raises(ConfigurationError):
+            AmoebotJob(job_id="x", lam=4.0, seed=0, n=10, engine="vector")
+
+    def test_exactly_one_start_spec(self):
+        with pytest.raises(ConfigurationError):
+            AmoebotJob(job_id="x", lam=4.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            AmoebotJob(job_id="x", lam=4.0, seed=0, n=5, initial_nodes=((0, 0),))
+
+    def test_activations_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            AmoebotJob(job_id="x", lam=4.0, seed=0, n=10, activations=-1)
+
+    def test_job_id_pattern(self):
+        with pytest.raises(ConfigurationError):
+            AmoebotJob(job_id="no/slashes", lam=4.0, seed=0, n=10)
+
+    def test_record_every_must_be_positive(self):
+        for bad in (0, -10):
+            with pytest.raises(ConfigurationError):
+                AmoebotJob(
+                    job_id="x", lam=4.0, seed=0, n=10, activations=100, record_every=bad
+                )
+
+
+class TestExecution:
+    def test_run_amoebot_job_records_trace(self):
+        job = AmoebotJob(
+            job_id="solo", lam=4.0, seed=3, n=20, activations=5_000, record_every=1_000
+        )
+        result = run_amoebot_job(job)
+        assert result.iterations == 5_000
+        assert result.trace.points[0].iteration == 0
+        assert result.trace.final().iteration == 5_000
+        assert len(result.trace.points) == 6
+        assert result.trace.final().perimeter <= result.trace.points[0].perimeter
+        counters = result.rejection_counts
+        # Every activation is exactly one of the four outcome classes.
+        assert (
+            counters["expansions"]
+            + result.accepted_moves
+            + counters["aborted_moves"]
+            + counters["idle_activations"]
+            == result.iterations
+        )
+
+    def test_engines_produce_identical_results(self):
+        fast = run_amoebot_job(
+            AmoebotJob(job_id="f", lam=4.0, seed=5, n=18, activations=6_000)
+        )
+        reference = run_amoebot_job(
+            AmoebotJob(job_id="f", lam=4.0, seed=5, n=18, activations=6_000, engine="reference")
+        )
+        assert fast.trace.points == reference.trace.points
+        assert fast.rejection_counts == reference.rejection_counts
+
+    def test_execute_job_dispatches(self):
+        from repro.runtime import ChainJob
+
+        amoebot = execute_job(
+            AmoebotJob(job_id="a", lam=4.0, seed=1, n=12, activations=1_000)
+        )
+        chain = execute_job(
+            ChainJob(job_id="c", lam=4.0, seed=1, n=12, iterations=1_000)
+        )
+        assert amoebot.job.kind == "amoebot_trace"
+        assert chain.job.kind == "trace"
+
+    def test_non_uniform_rates_thread_through(self):
+        rates = tuple((i, 3.0 if i < 5 else 1.0) for i in range(15))
+        job = AmoebotJob(
+            job_id="rated", lam=4.0, seed=2, n=15, activations=4_000, rates=rates
+        )
+        again = run_amoebot_job(job)
+        assert run_amoebot_job(job).trace.points == again.trace.points
+
+
+class TestEnsembles:
+    def test_parallel_equals_serial(self):
+        jobs = small_jobs()
+        serial = run_ensemble(jobs, workers=1)
+        parallel = run_ensemble(jobs, workers=2)
+        for a, b in zip(serial.results, parallel.results):
+            assert a.trace.points == b.trace.points
+            assert a.rejection_counts == b.rejection_counts
+
+    def test_results_table_rows(self):
+        ensemble = run_ensemble(small_jobs(replicas=2, activations=3_000))
+        assert len(ensemble.table.rows) == 2
+        row = ensemble.table.rows[0]
+        assert row["kind"] == "amoebot_trace"
+        assert row["engine"] == "fast"
+        assert row["n"] == 20
+
+    def test_checkpoint_roundtrip_and_fingerprint(self, tmp_path):
+        jobs = small_jobs(replicas=2, activations=3_000)
+        first = run_ensemble(jobs, workers=1, checkpoint=tmp_path)
+        resumed = run_ensemble(jobs, workers=1, checkpoint=tmp_path)
+        assert resumed.loaded_from_checkpoint == 2
+        for a, b in zip(first.results, resumed.results):
+            assert a.trace.points == b.trace.points
+        # A reseeded ensemble must be refused, not silently mixed in.
+        stale = amoebot_replica_jobs(
+            n=20, lam=4.0, activations=3_000, replicas=2, seed=999
+        )
+        renamed = [
+            AmoebotJob(
+                job_id=jobs[k].job_id,
+                lam=stale[k].lam,
+                seed=stale[k].seed,
+                n=stale[k].n,
+                activations=stale[k].activations,
+                metadata=stale[k].metadata,
+            )
+            for k in range(2)
+        ]
+        with pytest.raises(SerializationError):
+            run_ensemble(renamed, workers=1, checkpoint=tmp_path)
+
+    def test_mixed_chain_and_amoebot_ensemble(self):
+        from repro.runtime import replica_jobs
+
+        jobs = small_jobs(replicas=1, activations=2_000) + replica_jobs(
+            n=20, lam=4.0, iterations=2_000, replicas=1, seed=1
+        )
+        ensemble = run_ensemble(jobs, workers=1)
+        kinds = {result.job.kind for result in ensemble.results}
+        assert kinds == {"amoebot_trace", "trace"}
+
+
+class TestSerialization:
+    def test_amoebot_job_json_roundtrip(self):
+        job = AmoebotJob(
+            job_id="round-trip",
+            lam=4.0,
+            seed=11,
+            initial_nodes=((0, 0), (1, 0), (2, 0)),
+            activations=100,
+            rates=((0, 2.0), (2, 0.5)),
+            metadata={"replica": 1},
+        )
+        payload = job_to_json(job)
+        assert payload["job_type"] == "amoebot"
+        assert job_from_json(payload) == job
+
+    def test_chain_job_payloads_stay_untagged(self):
+        from repro.runtime import ChainJob
+
+        job = ChainJob(job_id="plain", lam=4.0, seed=0, n=5, iterations=10)
+        payload = job_to_json(job)
+        assert "job_type" not in payload
+        assert job_from_json(payload) == job

@@ -63,6 +63,58 @@ def test_speedup_field_is_guarded(emit, tmp_path):
         emit.record("gate", path=ledger, speedup=25.0)
 
 
+def test_key_matching_rules_are_pinned(emit):
+    """The guard's key-matching rules, spelled out (see _is_throughput_key)."""
+    guarded = [
+        "iterations_per_second",
+        "activations_per_second",
+        "fast_activations_per_second",
+        "reference_activations_per_second",
+        "iterations_per_second_n1000",
+        "speedup",
+        "speedup_n1000",
+        "vector_speedup",
+    ]
+    unguarded = ["n", "seconds", "rounds", "engine", "wall_seconds", "speedups_note"]
+    for key in guarded:
+        assert emit._is_throughput_key(key), key
+    for key in unguarded:
+        assert not emit._is_throughput_key(key), key
+
+
+def test_activations_per_second_regression_is_refused(emit, tmp_path):
+    """The distributed-runtime rows are guarded like the chain rows."""
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("amoebot", path=ledger, activations_per_second=1_000_000.0)
+    with pytest.raises(emit.BenchRegressionError, match="amoebot"):
+        emit.record("amoebot", path=ledger, activations_per_second=500_000.0)
+
+
+def test_suffixed_speedup_fields_are_guarded(emit, tmp_path):
+    ledger = tmp_path / "BENCH_test.json"
+    emit.record("adv", path=ledger, speedup_n1000=4.0)
+    with pytest.raises(emit.BenchRegressionError, match="adv"):
+        emit.record("adv", path=ledger, speedup_n1000=1.0)
+
+
+def test_bench_ledger_dir_redirects_default_ledger_only(emit, tmp_path, monkeypatch):
+    """CI machines set BENCH_LEDGER_DIR so the committed default ledger
+    stays untouched; explicit path= callers (tests, subsystem ledgers) are
+    honored verbatim."""
+    scratch = tmp_path / "scratch"
+    scratch.mkdir()
+    monkeypatch.setenv("BENCH_LEDGER_DIR", str(scratch))
+    committed_before = emit.RESULTS_PATH.read_text()
+    emit.record("__scratch_probe__", activations_per_second=1.0)
+    assert emit.RESULTS_PATH.read_text() == committed_before
+    assert "__scratch_probe__" in read_ledger(scratch / emit.RESULTS_PATH.name)
+    # Explicit paths are not redirected.
+    explicit = tmp_path / "BENCH_explicit.json"
+    emit.record("bench", path=explicit, iterations_per_second=5.0)
+    assert read_ledger(explicit)["bench"]["iterations_per_second"] == 5.0
+    assert not (scratch / "BENCH_explicit.json").exists()
+
+
 def test_non_throughput_fields_are_not_guarded(emit, tmp_path):
     ledger = tmp_path / "BENCH_test.json"
     emit.record("bench", path=ledger, n=1000, seconds=10.0)
