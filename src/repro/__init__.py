@@ -42,8 +42,21 @@ from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.shapes import hexagon, line, random_connected, ring, spiral, staircase
 from repro.core.compression import CompressionSimulation, CompressionTrace
 from repro.core.fast_chain import FastCompressionChain
+from repro.core.kernels import (
+    BridgingKernel,
+    CompressionKernel,
+    SeparationKernel,
+    WeightKernel,
+)
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.core.vector_chain import VectorCompressionChain
+from repro.algorithms.separation import ColoredConfiguration, SeparationMarkovChain
+from repro.algorithms.shortcut_bridging import (
+    BridgingMarkovChain,
+    Terrain,
+    initial_bridge_configuration,
+    v_shaped_terrain,
+)
 from repro.amoebot import AmoebotSystem, FastAmoebotSystem, create_system
 from repro.algorithms.expansion import ExpansionSimulation
 from repro.runtime import (
@@ -57,7 +70,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",
@@ -76,6 +89,16 @@ __all__ = [
     "CompressionMarkovChain",
     "FastCompressionChain",
     "VectorCompressionChain",
+    "WeightKernel",
+    "CompressionKernel",
+    "SeparationKernel",
+    "BridgingKernel",
+    "ColoredConfiguration",
+    "SeparationMarkovChain",
+    "BridgingMarkovChain",
+    "Terrain",
+    "initial_bridge_configuration",
+    "v_shaped_terrain",
     "AmoebotSystem",
     "FastAmoebotSystem",
     "create_system",

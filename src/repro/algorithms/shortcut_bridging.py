@@ -18,22 +18,37 @@ Locally, a particle move changes the weight by
 ``lambda^(e' - e) * gamma^(c(l) - c(l'))`` where ``c(v)`` is 1 on gap
 nodes and 0 on land (moving off the gap is rewarded), which keeps the
 algorithm purely local.  This is a faithful simplification of [2]'s
-site-weighted objective; DESIGN.md records the substitution.
+perimeter-weighted objective; ``docs/DESIGN.md`` records the
+substitution.
+
+:class:`BridgingMarkovChain` is a thin wrapper over the shared engine
+stack: the terrain weight lives in
+:class:`repro.core.kernels.BridgingKernel`, and ``engine="reference"``
+or ``engine="fast"`` (terrain byte plane over the dense grid, an order
+of magnitude faster) selects the execution engine — bit-identical
+trajectories for equal seeds, enforced by
+``tests/algorithms/test_bridging_engines.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
 
-import numpy as np
-
-from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
-from repro.core.properties import satisfies_either_property
+from repro.core.fast_chain import FastCompressionChain
+from repro.core.kernels import BridgingKernel
+from repro.core.markov_chain import CompressionMarkovChain
 from repro.errors import AlgorithmError, ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
-from repro.lattice.triangular import DIRECTIONS, Node, add, neighbors
-from repro.rng import RandomState, make_rng
+from repro.lattice.triangular import Node, neighbors
+from repro.rng import DEFAULT_DRAW_BLOCK, RandomState
+
+#: The engines a bridging chain can run on.  (The vector engine's numpy
+#: pass cannot evaluate terrain-plane weights; it raises a loud error.)
+BRIDGING_ENGINES: Dict[str, type] = {
+    "reference": CompressionMarkovChain,
+    "fast": FastCompressionChain,
+}
 
 
 @dataclass(frozen=True)
@@ -56,8 +71,18 @@ class Terrain:
         """Whether ``node`` lies over the gap."""
         return node not in self.land
 
+    def site_weight(self, node: Node) -> int:
+        """``c(node)``: 1 over the gap, 0 on land (the chain's site weight)."""
+        return 0 if node in self.land else 1
+
     def gap_occupancy(self, configuration: ParticleConfiguration) -> int:
-        """Number of particles currently sitting on gap nodes."""
+        """Number of particles currently sitting on gap nodes.
+
+        The from-scratch reference computation of ``g(sigma)`` under the
+        site-weighted substitution (see ``docs/DESIGN.md``); the engines
+        maintain the same quantity incrementally, and the invariant tests
+        check the two against each other on random configurations.
+        """
         return sum(1 for node in configuration.nodes if self.is_gap(node))
 
 
@@ -128,6 +153,10 @@ def initial_bridge_configuration(terrain: Terrain, n: int) -> ParticleConfigurat
 class BridgingMarkovChain:
     """The shortcut-bridging chain: compression bias ``lam``, gap aversion ``gamma``.
 
+    A thin wrapper binding a :class:`~repro.core.kernels.BridgingKernel`
+    to one of the shared engines; all dynamics (structural move filter,
+    draw protocol, terrain plane) live in the engine stack.
+
     Parameters
     ----------
     initial:
@@ -139,6 +168,13 @@ class BridgingMarkovChain:
     gamma:
         Gap aversion; larger values pull the bridge back toward land,
         shortening the shortcut.
+    seed:
+        Seed or generator for reproducible runs.
+    engine:
+        ``"reference"`` (default) or ``"fast"``; bit-identical
+        trajectories for equal seeds.
+    draw_block:
+        Block size of the batched draw tape.
     """
 
     def __init__(
@@ -148,19 +184,24 @@ class BridgingMarkovChain:
         lam: float,
         gamma: float,
         seed: RandomState = None,
+        engine: str = "reference",
+        draw_block: int = DEFAULT_DRAW_BLOCK,
     ) -> None:
-        if lam <= 0 or gamma <= 0:
-            raise AlgorithmError("lam and gamma must be positive")
-        if not initial.is_connected:
-            raise ConfigurationError("the initial configuration must be connected")
+        try:
+            engine_factory = BRIDGING_ENGINES[engine]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown bridging engine {engine!r}; "
+                f"expected one of {sorted(BRIDGING_ENGINES)}"
+            ) from None
+        kernel = BridgingKernel(lam=lam, gamma=gamma, land=terrain.land)
         self.terrain = terrain
-        self.lam = float(lam)
-        self.gamma = float(gamma)
-        self._rng = make_rng(seed)
-        self._occupied: Set[Node] = set(initial.nodes)
-        self._positions = sorted(self._occupied)
-        self._iterations = 0
-        self._accepted = 0
+        self.engine = engine
+        self.lam = kernel.lam
+        self.gamma = kernel.gamma
+        self.chain = engine_factory(
+            initial, seed=seed, draw_block=draw_block, kernel=kernel
+        )
 
     # ------------------------------------------------------------------ #
     # Observation
@@ -168,21 +209,37 @@ class BridgingMarkovChain:
     @property
     def configuration(self) -> ParticleConfiguration:
         """The current configuration."""
-        return ParticleConfiguration(self._occupied)
+        return self.chain.configuration
 
     @property
     def iterations(self) -> int:
         """Iterations performed so far."""
-        return self._iterations
+        return self.chain.iterations
 
     @property
     def accepted_moves(self) -> int:
         """Accepted particle movements."""
-        return self._accepted
+        return self.chain.accepted_moves
 
     def gap_occupancy(self) -> int:
-        """Number of particles currently over the gap (the "bridge cost")."""
-        return sum(1 for node in self._occupied if self.terrain.is_gap(node))
+        """Number of particles currently over the gap (the "bridge cost").
+
+        Maintained incrementally by the engine (one addition per accepted
+        move); equal to ``terrain.gap_occupancy(configuration)`` recomputed
+        from scratch, which the invariant tests enforce.
+        """
+        return self.chain.site_count
+
+    def g_sigma(self) -> int:
+        """``g(sigma)`` under the site-weighted substitution of the fast path.
+
+        The quantity the chain's weight actually penalizes:
+        ``w(sigma) ∝ lambda^{e(sigma)} * gamma^{-g(sigma)}`` with
+        ``g(sigma) = sum_{l in sigma} c(l)``, i.e. :meth:`gap_occupancy`.
+        See ``docs/DESIGN.md`` for how this relates to [2]'s
+        perimeter-weighted ``g``.
+        """
+        return self.chain.site_count
 
     def anchor_path_length(self) -> Optional[int]:
         """Length of the shortest path between the anchors through occupied nodes.
@@ -193,8 +250,9 @@ class BridgingMarkovChain:
         """
         from collections import deque
 
+        occupied = self.chain.occupied
         start, goal = self.terrain.anchors
-        sources = [node for node in self._occupied if node == start or start in neighbors(node)]
+        sources = [node for node in occupied if node == start or start in neighbors(node)]
         if not sources:
             return None
         seen = {node: 0 for node in sources}
@@ -204,7 +262,7 @@ class BridgingMarkovChain:
             if node == goal or goal in neighbors(node):
                 return seen[node]
             for nb in neighbors(node):
-                if nb in self._occupied and nb not in seen:
+                if nb in occupied and nb not in seen:
                     seen[nb] = seen[node] + 1
                     queue.append(nb)
         return None
@@ -214,35 +272,10 @@ class BridgingMarkovChain:
     # ------------------------------------------------------------------ #
     def step(self) -> bool:
         """One iteration; returns ``True`` when a particle moved."""
-        self._iterations += 1
-        rng = self._rng
-        index = int(rng.integers(0, len(self._positions)))
-        source = self._positions[index]
-        target = add(source, DIRECTIONS[int(rng.integers(0, 6))])
-        occupied = self._occupied
-        if target in occupied:
-            return False
-        e_before = sum(1 for nb in neighbors(source) if nb in occupied)
-        if e_before == FORBIDDEN_NEIGHBOR_COUNT:
-            return False
-        e_after = sum(1 for nb in neighbors(target) if nb in occupied and nb != source)
-        if not satisfies_either_property(occupied, source, target):
-            return False
-        gap_delta = int(self.terrain.is_gap(target)) - int(self.terrain.is_gap(source))
-        acceptance = min(
-            1.0, (self.lam ** (e_after - e_before)) * (self.gamma ** (-gap_delta))
-        )
-        if rng.random() >= acceptance:
-            return False
-        occupied.discard(source)
-        occupied.add(target)
-        self._positions[index] = target
-        self._accepted += 1
-        return True
+        return self.chain.step().moved
 
     def run(self, iterations: int) -> None:
         """Perform a number of iterations."""
         if iterations < 0:
             raise AlgorithmError("iterations must be non-negative")
-        for _ in range(iterations):
-            self.step()
+        self.chain.run(iterations)

@@ -33,6 +33,13 @@ Algorithm M ships as three interchangeable engines:
   long runs at ``n`` in the thousands and beyond — 3-5x the fast engine
   from ``n = 1000`` to ``n = 20000``, and growing with ``n``.
 
+**Weight kernels:** the engines' acceptance rule is pluggable
+(:mod:`repro.core.kernels`): the compression weight is the default
+kernel, and the separation chain of [9] (color plane + swap moves) and
+the shortcut-bridging chain of [2] (terrain plane) run as kernels on the
+very same reference/fast engines — one engine family for all three
+chains, each pair bound by the same differential contract.
+
 **Equivalence guarantee:** all engines consume randomness through the
 shared :class:`repro.rng.BatchedMoveDraws` protocol, so for equal seeds
 and draw-block sizes they produce bit-identical trajectories — identical
@@ -69,6 +76,15 @@ from repro.core.energy import (
     weight,
 )
 from repro.core.metropolis import MetropolisFilter, acceptance_probability
+from repro.core.kernels import (
+    KERNEL_MODES,
+    MOVEMENT_REJECTION_REASONS,
+    SWAP_REJECTION_REASONS,
+    BridgingKernel,
+    CompressionKernel,
+    SeparationKernel,
+    WeightKernel,
+)
 from repro.core.markov_chain import CompressionMarkovChain, StepResult
 from repro.core.fast_chain import FastCompressionChain, OccupancyGrid
 from repro.core.moves import move_tables, move_tables_array
@@ -103,6 +119,13 @@ __all__ = [
     "weight",
     "MetropolisFilter",
     "acceptance_probability",
+    "KERNEL_MODES",
+    "MOVEMENT_REJECTION_REASONS",
+    "SWAP_REJECTION_REASONS",
+    "WeightKernel",
+    "CompressionKernel",
+    "SeparationKernel",
+    "BridgingKernel",
     "CompressionMarkovChain",
     "StepResult",
     "FastCompressionChain",

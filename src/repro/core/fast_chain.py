@@ -36,6 +36,15 @@ engine) but is built for long runs at large ``n``:
   — until the holes have been eliminated, after which the O(1) path locks
   in permanently.
 
+* **Pluggable weight kernels.**  The Metropolis acceptance rule is a
+  swappable :class:`~repro.core.kernels.WeightKernel`.  The default is
+  the paper's compression weight (bit-identical to the pre-kernel
+  engine, pinned by the committed goldens); the separation kernel of [9]
+  adds a color byte plane and swap moves, the bridging kernel of [2] a
+  static terrain plane — all three run the same table-driven structural
+  filter, and each kernel's fast engine is bit-identical to its
+  reference engine for equal seeds.
+
 Use the reference engine when auditing dynamics or stepping through
 individual proposals; use this engine for scaling sweeps, mixing-time
 estimation and any workload where throughput matters.  The differential
@@ -52,6 +61,7 @@ from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.triangular import DIRECTIONS, Node, neighbors, nodes_bounding_box
+from repro.core.kernels import CompressionKernel, WeightKernel
 from repro.core.markov_chain import REJECTION_REASONS, StepResult
 from repro.core.moves import (  # re-exported for backward compatibility
     RING_OFFSETS,
@@ -237,43 +247,119 @@ class FastCompressionChain:
     draw_block:
         Block size of the batched draw tape (must match the engine being
         compared against in differential tests).
+    kernel:
+        Optional :class:`~repro.core.kernels.WeightKernel` selecting the
+        acceptance rule (and any auxiliary byte plane).  ``None`` builds
+        the default compression kernel from ``lam``.
     """
 
     def __init__(
         self,
         initial: ParticleConfiguration,
-        lam: float,
+        lam: Optional[float] = None,
         seed: RandomState = None,
         draw_block: int = DEFAULT_DRAW_BLOCK,
+        kernel: Optional[WeightKernel] = None,
     ) -> None:
-        if lam <= 0:
-            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        if kernel is None:
+            if lam is None or lam <= 0:
+                raise ConfigurationError(f"lambda must be positive, got {lam}")
+            kernel = CompressionKernel(lam)
+        elif lam is not None and float(lam) != kernel.lam:
+            raise ConfigurationError(
+                f"lam={lam} disagrees with the kernel's lam={kernel.lam}; "
+                f"pass one or the other"
+            )
         if not initial.is_connected:
             raise ConfigurationError("the initial configuration must be connected")
-        self.lam = float(lam)
+        self._kernel = kernel
+        self._mode = kernel.mode
+        self.lam = kernel.lam
         self._rng = make_rng(seed)
         ordered = sorted(initial.nodes)  # index order matches the reference engine
         self._n = len(ordered)
-        self._draws = BatchedMoveDraws(self._rng, self._n, draw_block)
+        self._draws = BatchedMoveDraws(self._rng, self._n, draw_block, lanes=kernel.lanes)
         self._grid = OccupancyGrid(ordered)
         self._pos: List[int] = [self._grid.flat_index(node) for node in ordered]
         self._edge_count = initial.edge_count
         self._hole_free = initial.is_hole_free
         self._iterations = 0
         self._accepted = 0
-        self._rejections: Dict[str, int] = {reason: 0 for reason in REJECTION_REASONS}
-        # Same expression as the reference engine so the floats are identical.
-        self._acceptance = [min(1.0, self.lam ** delta) for delta in range(-6, 7)]
+        self._accepted_swaps = 0
+        self._rejections: Dict[str, int] = {
+            reason: 0 for reason in kernel.rejection_reasons
+        }
+        self._swap_probability = kernel.swap_probability
         self._nb_before, self._nb_after, self._property_ok = move_tables()
+        self._init_kernel_state(initial, ordered)
         self._configuration_cache: Optional[ParticleConfiguration] = initial
+
+    def _init_kernel_state(self, initial: ParticleConfiguration, ordered: List[Node]) -> None:
+        """Build the acceptance tables and auxiliary byte planes."""
+        kernel = self._kernel
+        if self._mode == "edge":
+            # The kernel reproduces the exact float list the engine always
+            # precomputed, so the Metropolis comparisons are unchanged.
+            self._acceptance = kernel.acceptance_list()
+        elif self._mode == "edge_site":
+            self._site_rows = kernel.acceptance_rows()
+            self._site_plane = kernel.build_site_plane(self._grid)
+            self._site_count = sum(self._site_plane[flat] for flat in self._pos)
+        elif self._mode == "edge_color":
+            if set(kernel.colors) != set(ordered):
+                raise ConfigurationError(
+                    "the kernel's color map must cover exactly the occupied nodes"
+                )
+            self._movement_rows = kernel.movement_rows()
+            self._swap_acceptance = kernel.swap_row()
+            self._color_plane = kernel.build_color_plane(self._grid, self._pos)
+        else:
+            raise ConfigurationError(f"unknown kernel mode {self._mode!r}")
 
     # ------------------------------------------------------------------ #
     # State access (mirrors the reference engine)
     # ------------------------------------------------------------------ #
     @property
+    def kernel(self) -> WeightKernel:
+        """The weight kernel driving this engine's acceptance rule."""
+        return self._kernel
+
+    @property
     def n(self) -> int:
         """Number of particles."""
         return self._n
+
+    @property
+    def accepted_swaps(self) -> int:
+        """Number of accepted color swaps (0 unless the kernel has swaps)."""
+        return self._accepted_swaps
+
+    @property
+    def site_count(self) -> int:
+        """Total site weight of the occupied nodes (``edge_site`` kernels).
+
+        For the bridging kernel this is the number of particles over the
+        gap — maintained incrementally, one addition per accepted move.
+        """
+        if self._mode != "edge_site":
+            raise ConfigurationError(
+                f"site_count requires an edge_site kernel, not {self._mode!r}"
+            )
+        return self._site_count
+
+    def color_map(self) -> Dict[Node, int]:
+        """The current color per occupied node (``edge_color`` kernels).
+
+        Decoded from the color byte plane, the engine's single source of
+        truth for colors.
+        """
+        if self._mode != "edge_color":
+            raise ConfigurationError(
+                f"color_map requires an edge_color kernel, not {self._mode!r}"
+            )
+        grid = self._grid
+        plane = self._color_plane
+        return {grid.node_at(flat): plane[flat] - 1 for flat in self._pos}
 
     @property
     def iterations(self) -> int:
@@ -340,15 +426,24 @@ class FastCompressionChain:
     # Dynamics
     # ------------------------------------------------------------------ #
     def step(self) -> StepResult:
-        """Perform one iteration of Algorithm M and report what happened.
+        """Perform one iteration of the chain and report what happened.
 
-        Semantically identical to the reference engine's ``step``; used by
-        the lockstep differential tests.  Throughput-sensitive callers
-        should prefer :meth:`run`, which skips the per-proposal
+        Semantically identical to the reference engine's ``step`` for the
+        same kernel; used by the lockstep differential tests.
+        Throughput-sensitive callers should prefer :meth:`run`, which
+        skips the per-proposal
         :class:`~repro.core.markov_chain.StepResult` construction.
         """
         self._iterations += 1
-        index, direction_index, q = self._draws.draw()
+        if self._kernel.lanes == 2:
+            index, direction_index, q, q2 = self._draws.draw2()
+            if q2 < self._swap_probability:
+                return self._swap_step(index, direction_index, q)
+        else:
+            index, direction_index, q = self._draws.draw()
+        return self._movement_step(index, direction_index, q)
+
+    def _movement_step(self, index: int, direction_index: int, q: float) -> StepResult:
         grid = self._grid
         cells = grid.cells
         source = self._pos[index]
@@ -378,7 +473,7 @@ class FastCompressionChain:
         if not self._property_ok[mask]:
             self._rejections["property_failed"] += 1
             return StepResult(False, move, edge_delta, "property_failed")
-        if q >= self._acceptance[edge_delta + 6]:
+        if q >= self._movement_acceptance(source, target, edge_delta):
             self._rejections["metropolis_rejected"] += 1
             return StepResult(False, move, edge_delta, "metropolis_rejected")
 
@@ -387,10 +482,87 @@ class FastCompressionChain:
         self._pos[index] = target
         self._edge_count += edge_delta
         self._accepted += 1
+        mode = self._mode
+        if mode == "edge_site":
+            self._site_count += self._site_plane[target] - self._site_plane[source]
+        elif mode == "edge_color":
+            plane = self._color_plane
+            plane[target] = plane[source]
+            plane[source] = 0
         self._configuration_cache = None
         if grid.in_guard_band(target):
             self._reallocate()
         return StepResult(True, move, edge_delta, "moved")
+
+    def _movement_acceptance(self, source: int, target: int, edge_delta: int) -> float:
+        """The kernel's acceptance probability for a structurally legal move.
+
+        ``source``/``target`` are flat grid indices; auxiliary deltas are
+        read straight off the kernel's byte plane.
+        """
+        mode = self._mode
+        if mode == "edge":
+            return self._acceptance[edge_delta + 6]
+        if mode == "edge_site":
+            site = self._site_plane
+            return self._site_rows[site[target] - site[source] + 1][edge_delta + 6]
+        plane = self._color_plane
+        offsets = self._grid.direction_offsets
+        color = plane[source]
+        a_before = 0
+        a_after = -1  # the mover itself is always adjacent to the target
+        for offset in offsets:
+            if plane[source + offset] == color:
+                a_before += 1
+            if plane[target + offset] == color:
+                a_after += 1
+        return self._movement_rows[a_after - a_before + 5][edge_delta + 6]
+
+    def _swap_step(self, index: int, direction_index: int, q: float) -> StepResult:
+        """A color-swap attempt (``edge_color`` kernels only)."""
+        grid = self._grid
+        plane = self._color_plane
+        source = self._pos[index]
+        target = source + grid.direction_offsets[direction_index]
+        move = Move(source=grid.node_at(source), target=grid.node_at(target))
+        target_color = plane[target]
+        if not target_color:
+            self._rejections["swap_target_empty"] += 1
+            return StepResult(False, move, None, "swap_target_empty")
+        source_color = plane[source]
+        if source_color == target_color:
+            self._rejections["swap_same_color"] += 1
+            return StepResult(False, move, None, "swap_same_color")
+        delta = self._swap_delta(source, target, source_color, target_color)
+        if q >= self._swap_acceptance[delta + 10]:
+            self._rejections["swap_rejected"] += 1
+            return StepResult(False, move, None, "swap_rejected")
+        plane[source], plane[target] = target_color, source_color
+        self._accepted_swaps += 1
+        return StepResult(False, move, None, "swapped")
+
+    def _swap_delta(self, source: int, target: int, source_color: int, target_color: int) -> int:
+        """Same-color-edge delta of swapping two distinct colors.
+
+        Plane reads only: the ``before`` counts need no exclusions (the
+        partner holds the *other* color, so it never matches), while each
+        ``after`` count over-counts the partner cell by exactly one.
+        """
+        plane = self._color_plane
+        before = 0
+        after = -2
+        for offset in self._grid.direction_offsets:
+            around_source = plane[source + offset]
+            around_target = plane[target + offset]
+            if around_source == source_color:
+                before += 1
+            elif around_source == target_color:
+                after += 1
+            if around_target == target_color:
+                before += 1
+            elif around_target == source_color:
+                after += 1
+        return after - before
 
     def run(
         self, iterations: int, callback: Optional[Callable[[int, StepResult], None]] = None
@@ -400,7 +572,9 @@ class FastCompressionChain:
         Without a callback this is the engine's hot path: a single Python
         loop over the prefetched draw blocks with all state bound to
         locals, no per-proposal allocations, and counters flushed back to
-        the instance at block boundaries.
+        the instance at block boundaries.  Each kernel mode has its own
+        specialization of that loop — the default compression loop is
+        untouched by the kernel refactor.
         """
         if iterations < 0:
             raise ConfigurationError(f"iterations must be non-negative, got {iterations}")
@@ -408,6 +582,12 @@ class FastCompressionChain:
             for _ in range(iterations):
                 result = self.step()
                 callback(self._iterations, result)
+            return
+        if self._mode == "edge_site":
+            self._run_edge_site(iterations)
+            return
+        if self._mode == "edge_color":
+            self._run_edge_color(iterations)
             return
 
         draws = self._draws
@@ -495,13 +675,263 @@ class FastCompressionChain:
         if accepted:
             self._configuration_cache = None
 
+    def _run_edge_site(self, iterations: int) -> None:
+        """The hot loop for ``edge_site`` kernels (bridging).
+
+        The compression loop plus two reads of the static site plane and
+        a 2-D acceptance lookup per structurally legal proposal.
+        """
+        draws = self._draws
+        nb_before_table = self._nb_before
+        nb_after_table = self._nb_after
+        property_table = self._property_ok
+        site_rows = self._site_rows
+        pos = self._pos
+        grid = self._grid
+        cells = grid.cells
+        site = self._site_plane
+        in_guard_band = grid.in_guard_band
+        direction_offsets = grid.direction_offsets
+        ring_offsets = grid.ring_offsets
+        forbidden = FORBIDDEN_NEIGHBOR_COUNT
+        occupied_rejects = five_rejects = property_rejects = metropolis_rejects = 0
+        accepted = 0
+        edges = self._edge_count
+        sites = self._site_count
+        remaining = iterations
+        while remaining > 0:
+            if draws.cursor >= draws.size:
+                draws.refill()
+            indices, directions, uniforms = draws.lists()
+            start = draws.cursor
+            stop = start + min(draws.size - start, remaining)
+            consumed = stop - start
+            hit_guard = False
+            for cursor in range(start, stop):
+                index = indices[cursor]
+                source = pos[index]
+                direction = directions[cursor]
+                target = source + direction_offsets[direction]
+                if cells[target]:
+                    occupied_rejects += 1
+                    continue
+                ring = ring_offsets[direction]
+                mask = (
+                    cells[source + ring[0]]
+                    | cells[source + ring[1]] << 1
+                    | cells[source + ring[2]] << 2
+                    | cells[source + ring[3]] << 3
+                    | cells[source + ring[4]] << 4
+                    | cells[source + ring[5]] << 5
+                    | cells[source + ring[6]] << 6
+                    | cells[source + ring[7]] << 7
+                )
+                neighbors_before = nb_before_table[mask]
+                if neighbors_before == forbidden:
+                    five_rejects += 1
+                    continue
+                if not property_table[mask]:
+                    property_rejects += 1
+                    continue
+                delta = nb_after_table[mask] - neighbors_before
+                site_delta = site[target] - site[source]
+                if uniforms[cursor] >= site_rows[site_delta + 1][delta + 6]:
+                    metropolis_rejects += 1
+                    continue
+                cells[source] = 0
+                cells[target] = 1
+                pos[index] = target
+                edges += delta
+                sites += site_delta
+                accepted += 1
+                if in_guard_band(target):
+                    consumed = cursor - start + 1
+                    hit_guard = True
+                    break
+            draws.cursor = start + consumed
+            remaining -= consumed
+            if hit_guard:
+                self._reallocate()
+                pos = self._pos
+                grid = self._grid
+                cells = grid.cells
+                site = self._site_plane
+                in_guard_band = grid.in_guard_band
+                direction_offsets = grid.direction_offsets
+                ring_offsets = grid.ring_offsets
+
+        self._edge_count = edges
+        self._site_count = sites
+        self._iterations += iterations
+        self._accepted += accepted
+        rejections = self._rejections
+        rejections["target_occupied"] += occupied_rejects
+        rejections["five_neighbors"] += five_rejects
+        rejections["property_failed"] += property_rejects
+        rejections["metropolis_rejected"] += metropolis_rejects
+        if accepted:
+            self._configuration_cache = None
+
+    def _run_edge_color(self, iterations: int) -> None:
+        """The hot loop for ``edge_color`` kernels (separation).
+
+        Per iteration the lane-2 uniform splits between an inlined swap
+        attempt (color plane reads only) and the compression loop
+        augmented with same-color neighbor counts off the color plane.
+        """
+        draws = self._draws
+        nb_before_table = self._nb_before
+        nb_after_table = self._nb_after
+        property_table = self._property_ok
+        movement_rows = self._movement_rows
+        swap_acceptance = self._swap_acceptance
+        swap_probability = self._swap_probability
+        pos = self._pos
+        grid = self._grid
+        cells = grid.cells
+        plane = self._color_plane
+        in_guard_band = grid.in_guard_band
+        direction_offsets = grid.direction_offsets
+        ring_offsets = grid.ring_offsets
+        forbidden = FORBIDDEN_NEIGHBOR_COUNT
+        occupied_rejects = five_rejects = property_rejects = metropolis_rejects = 0
+        swap_empty = swap_same = swap_rejects = 0
+        accepted = swaps = 0
+        edges = self._edge_count
+        remaining = iterations
+        while remaining > 0:
+            if draws.cursor >= draws.size:
+                draws.refill()
+            indices, directions, uniforms = draws.lists()
+            uniforms2 = draws.lists2()
+            start = draws.cursor
+            stop = start + min(draws.size - start, remaining)
+            consumed = stop - start
+            hit_guard = False
+            for cursor in range(start, stop):
+                index = indices[cursor]
+                source = pos[index]
+                direction = directions[cursor]
+                target = source + direction_offsets[direction]
+                if uniforms2[cursor] < swap_probability:
+                    # Color-swap attempt: occupancy never changes.
+                    target_color = plane[target]
+                    if not target_color:
+                        swap_empty += 1
+                        continue
+                    source_color = plane[source]
+                    if source_color == target_color:
+                        swap_same += 1
+                        continue
+                    before = 0
+                    after = -2
+                    for offset in direction_offsets:
+                        around_source = plane[source + offset]
+                        around_target = plane[target + offset]
+                        if around_source == source_color:
+                            before += 1
+                        elif around_source == target_color:
+                            after += 1
+                        if around_target == target_color:
+                            before += 1
+                        elif around_target == source_color:
+                            after += 1
+                    if uniforms[cursor] >= swap_acceptance[after - before + 10]:
+                        swap_rejects += 1
+                        continue
+                    plane[source] = target_color
+                    plane[target] = source_color
+                    swaps += 1
+                    continue
+                if cells[target]:
+                    occupied_rejects += 1
+                    continue
+                ring = ring_offsets[direction]
+                mask = (
+                    cells[source + ring[0]]
+                    | cells[source + ring[1]] << 1
+                    | cells[source + ring[2]] << 2
+                    | cells[source + ring[3]] << 3
+                    | cells[source + ring[4]] << 4
+                    | cells[source + ring[5]] << 5
+                    | cells[source + ring[6]] << 6
+                    | cells[source + ring[7]] << 7
+                )
+                neighbors_before = nb_before_table[mask]
+                if neighbors_before == forbidden:
+                    five_rejects += 1
+                    continue
+                if not property_table[mask]:
+                    property_rejects += 1
+                    continue
+                delta = nb_after_table[mask] - neighbors_before
+                color = plane[source]
+                a_before = 0
+                a_after = -1  # the mover itself is always adjacent to the target
+                for offset in direction_offsets:
+                    if plane[source + offset] == color:
+                        a_before += 1
+                    if plane[target + offset] == color:
+                        a_after += 1
+                if uniforms[cursor] >= movement_rows[a_after - a_before + 5][delta + 6]:
+                    metropolis_rejects += 1
+                    continue
+                cells[source] = 0
+                cells[target] = 1
+                plane[target] = color
+                plane[source] = 0
+                pos[index] = target
+                edges += delta
+                accepted += 1
+                if in_guard_band(target):
+                    consumed = cursor - start + 1
+                    hit_guard = True
+                    break
+            draws.cursor = start + consumed
+            remaining -= consumed
+            if hit_guard:
+                self._reallocate()
+                pos = self._pos
+                grid = self._grid
+                cells = grid.cells
+                plane = self._color_plane
+                in_guard_band = grid.in_guard_band
+                direction_offsets = grid.direction_offsets
+                ring_offsets = grid.ring_offsets
+
+        self._edge_count = edges
+        self._iterations += iterations
+        self._accepted += accepted
+        self._accepted_swaps += swaps
+        rejections = self._rejections
+        rejections["target_occupied"] += occupied_rejects
+        rejections["five_neighbors"] += five_rejects
+        rejections["property_failed"] += property_rejects
+        rejections["metropolis_rejected"] += metropolis_rejects
+        rejections["swap_target_empty"] += swap_empty
+        rejections["swap_same_color"] += swap_same
+        rejections["swap_rejected"] += swap_rejects
+        if accepted:
+            self._configuration_cache = None
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _reallocate(self) -> None:
-        """Re-center the grid and remap the flat position list."""
+        """Re-center the grid, remap the flat position list, rebuild planes."""
         grid = self._grid
         nodes = [grid.node_at(flat) for flat in self._pos]
+        mode = self._mode
+        if mode == "edge_color":
+            old_plane = self._color_plane
+            color_bytes = [old_plane[flat] for flat in self._pos]
         fresh = OccupancyGrid(nodes)
         self._grid = fresh
         self._pos = [fresh.flat_index(node) for node in nodes]
+        if mode == "edge_site":
+            self._site_plane = self._kernel.build_site_plane(fresh)
+        elif mode == "edge_color":
+            plane = bytearray(fresh.width * fresh.height)
+            for flat, byte in zip(self._pos, color_bytes):
+                plane[flat] = byte
+            self._color_plane = plane

@@ -27,6 +27,14 @@ through the batched draw protocol of :class:`repro.rng.BatchedMoveDraws`
 (one ``(index, direction, uniform)`` triple per iteration, the uniform
 consumed even when a proposal is rejected early), so equal seeds and
 block sizes yield bit-identical trajectories across all three engines.
+
+The *acceptance weight* of the chain is pluggable: pass a
+:class:`~repro.core.kernels.WeightKernel` to run the same structural
+dynamics under a different Metropolis weight — the separation chain of
+[9] (colored particles, swap moves) or the shortcut-bridging chain of [2]
+(land/gap terrain).  Without a kernel the engine builds the default
+:class:`~repro.core.kernels.CompressionKernel`, whose behaviour (and
+random stream) is bit-identical to the pre-kernel engine.
 """
 
 from __future__ import annotations
@@ -39,18 +47,20 @@ import numpy as np
 from repro.constants import FORBIDDEN_NEIGHBOR_COUNT
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
-from repro.lattice.triangular import DIRECTIONS, Node, add
+from repro.lattice.triangular import DIRECTIONS, Node, add, neighbors
+from repro.core.kernels import (
+    MOVEMENT_REJECTION_REASONS,
+    CompressionKernel,
+    WeightKernel,
+)
 from repro.core.moves import Move
 from repro.core.properties import satisfies_either_property
 from repro.rng import DEFAULT_DRAW_BLOCK, BatchedMoveDraws, RandomState, make_rng
 
-#: Reasons a proposed step may not result in a move.
-REJECTION_REASONS = (
-    "target_occupied",
-    "five_neighbors",
-    "property_failed",
-    "metropolis_rejected",
-)
+#: Reasons a proposed step may not result in a move (movement proposals;
+#: kernels with extra move types extend this via their
+#: ``rejection_reasons`` — see :mod:`repro.core.kernels`).
+REJECTION_REASONS = MOVEMENT_REJECTION_REASONS
 
 
 @dataclass(frozen=True)
@@ -92,6 +102,10 @@ class CompressionMarkovChain:
     draw_block:
         Block size of the batched draw tape (see :class:`repro.rng.BatchedMoveDraws`).
         Engines compared by the differential harness must use equal blocks.
+    kernel:
+        Optional :class:`~repro.core.kernels.WeightKernel` selecting the
+        acceptance rule (and any auxiliary state: colors, terrain).
+        ``None`` builds the default compression kernel from ``lam``.
 
     Notes
     -----
@@ -103,15 +117,25 @@ class CompressionMarkovChain:
     def __init__(
         self,
         initial: ParticleConfiguration,
-        lam: float,
+        lam: Optional[float] = None,
         seed: RandomState = None,
         draw_block: int = DEFAULT_DRAW_BLOCK,
+        kernel: Optional[WeightKernel] = None,
     ) -> None:
-        if lam <= 0:
-            raise ConfigurationError(f"lambda must be positive, got {lam}")
+        if kernel is None:
+            if lam is None or lam <= 0:
+                raise ConfigurationError(f"lambda must be positive, got {lam}")
+            kernel = CompressionKernel(lam)
+        elif lam is not None and float(lam) != kernel.lam:
+            raise ConfigurationError(
+                f"lam={lam} disagrees with the kernel's lam={kernel.lam}; "
+                f"pass one or the other"
+            )
         if not initial.is_connected:
             raise ConfigurationError("the initial configuration must be connected")
-        self.lam = float(lam)
+        self._kernel = kernel
+        self._mode = kernel.mode
+        self.lam = kernel.lam
         self._rng = make_rng(seed)
         self._positions: List[Node] = sorted(initial.nodes)
         self._occupied: Dict[Node, int] = {
@@ -119,17 +143,48 @@ class CompressionMarkovChain:
         }
         self._edge_count = initial.edge_count
         self._n = len(self._positions)
-        self._draws = BatchedMoveDraws(self._rng, self._n, draw_block)
+        self._draws = BatchedMoveDraws(self._rng, self._n, draw_block, lanes=kernel.lanes)
         self._iterations = 0
         self._accepted = 0
-        self._rejections: Dict[str, int] = {reason: 0 for reason in REJECTION_REASONS}
-        # Precompute acceptance probabilities for each possible edge delta.
-        self._acceptance = {delta: min(1.0, self.lam ** delta) for delta in range(-6, 7)}
+        self._accepted_swaps = 0
+        self._rejections: Dict[str, int] = {
+            reason: 0 for reason in kernel.rejection_reasons
+        }
+        self._swap_probability = kernel.swap_probability
+        self._init_kernel_state(initial)
         self._configuration_cache: Optional[ParticleConfiguration] = initial
+
+    def _init_kernel_state(self, initial: ParticleConfiguration) -> None:
+        """Build the acceptance tables and auxiliary hash-map state."""
+        kernel = self._kernel
+        if self._mode == "edge":
+            # Same keying and float expression as always: bit-transparent.
+            acceptance = kernel.acceptance_list()
+            self._acceptance = {delta: acceptance[delta + 6] for delta in range(-6, 7)}
+        elif self._mode == "edge_site":
+            self._site_rows = kernel.acceptance_rows()
+            self._site_weight = kernel.site_weight
+            self._site_count = sum(kernel.site_weight(node) for node in self._positions)
+        elif self._mode == "edge_color":
+            colors = kernel.colors
+            if set(colors) != set(self._positions):
+                raise ConfigurationError(
+                    "the kernel's color map must cover exactly the occupied nodes"
+                )
+            self._node_colors: Dict[Node, int] = dict(colors)
+            self._movement_rows = kernel.movement_rows()
+            self._swap_acceptance = kernel.swap_row()
+        else:
+            raise ConfigurationError(f"unknown kernel mode {self._mode!r}")
 
     # ------------------------------------------------------------------ #
     # State access
     # ------------------------------------------------------------------ #
+    @property
+    def kernel(self) -> WeightKernel:
+        """The weight kernel driving this engine's acceptance rule."""
+        return self._kernel
+
     @property
     def n(self) -> int:
         """Number of particles."""
@@ -146,6 +201,11 @@ class CompressionMarkovChain:
         return self._accepted
 
     @property
+    def accepted_swaps(self) -> int:
+        """Number of accepted color swaps (0 unless the kernel has swaps)."""
+        return self._accepted_swaps
+
+    @property
     def rejection_counts(self) -> Dict[str, int]:
         """Counts of rejected proposals grouped by rejection reason."""
         return dict(self._rejections)
@@ -154,6 +214,27 @@ class CompressionMarkovChain:
     def edge_count(self) -> int:
         """The current number of induced edges ``e(sigma)`` (maintained incrementally)."""
         return self._edge_count
+
+    @property
+    def site_count(self) -> int:
+        """Total site weight of the occupied nodes (``edge_site`` kernels).
+
+        For the bridging kernel this is the number of particles over the
+        gap — maintained incrementally, one addition per accepted move.
+        """
+        if self._mode != "edge_site":
+            raise ConfigurationError(
+                f"site_count requires an edge_site kernel, not {self._mode!r}"
+            )
+        return self._site_count
+
+    def color_map(self) -> Dict[Node, int]:
+        """The current color per occupied node (``edge_color`` kernels)."""
+        if self._mode != "edge_color":
+            raise ConfigurationError(
+                f"color_map requires an edge_color kernel, not {self._mode!r}"
+            )
+        return dict(self._node_colors)
 
     @property
     def occupied(self) -> frozenset[Node]:
@@ -184,9 +265,24 @@ class CompressionMarkovChain:
     # Dynamics
     # ------------------------------------------------------------------ #
     def step(self) -> StepResult:
-        """Perform one iteration of Algorithm M and report what happened."""
+        """Perform one iteration of the chain and report what happened.
+
+        For the default compression kernel this is exactly Algorithm M.
+        Two-lane kernels (separation) additionally consume a lane-2
+        uniform that selects between a movement attempt and a color-swap
+        attempt, so the tape position stays one per iteration regardless
+        of move type.
+        """
         self._iterations += 1
-        index, direction_index, q = self._draws.draw()
+        if self._kernel.lanes == 2:
+            index, direction_index, q, q2 = self._draws.draw2()
+            if q2 < self._swap_probability:
+                return self._swap_step(index, direction_index, q)
+        else:
+            index, direction_index, q = self._draws.draw()
+        return self._movement_step(index, direction_index, q)
+
+    def _movement_step(self, index: int, direction_index: int, q: float) -> StepResult:
         source = self._positions[index]
         target = add(source, DIRECTIONS[direction_index])
         move = Move(source=source, target=target)
@@ -209,12 +305,77 @@ class CompressionMarkovChain:
             self._rejections["property_failed"] += 1
             return StepResult(False, move, edge_delta, "property_failed")
 
-        if q >= self._acceptance[edge_delta]:
+        if q >= self._movement_acceptance(source, target, edge_delta):
             self._rejections["metropolis_rejected"] += 1
             return StepResult(False, move, edge_delta, "metropolis_rejected")
 
         self._apply(index, source, target, edge_delta)
         return StepResult(True, move, edge_delta, "moved")
+
+    def _movement_acceptance(self, source: Node, target: Node, edge_delta: int) -> float:
+        """The kernel's acceptance probability for a structurally legal move."""
+        mode = self._mode
+        if mode == "edge":
+            return self._acceptance[edge_delta]
+        if mode == "edge_site":
+            site_delta = self._site_weight(target) - self._site_weight(source)
+            return self._site_rows[site_delta + 1][edge_delta + 6]
+        colors = self._node_colors
+        color = colors[source]
+        a_before = sum(1 for nb in neighbors(source) if colors.get(nb) == color)
+        a_after = sum(
+            1 for nb in neighbors(target) if nb != source and colors.get(nb) == color
+        )
+        return self._movement_rows[a_after - a_before + 5][edge_delta + 6]
+
+    def _swap_step(self, index: int, direction_index: int, q: float) -> StepResult:
+        """A color-swap attempt (``edge_color`` kernels only)."""
+        source = self._positions[index]
+        target = add(source, DIRECTIONS[direction_index])
+        move = Move(source=source, target=target)
+        colors = self._node_colors
+        target_color = colors.get(target)
+        if target_color is None:
+            self._rejections["swap_target_empty"] += 1
+            return StepResult(False, move, None, "swap_target_empty")
+        source_color = colors[source]
+        if source_color == target_color:
+            self._rejections["swap_same_color"] += 1
+            return StepResult(False, move, None, "swap_same_color")
+        delta = self._swap_homogeneity_delta(source, target)
+        if q >= self._swap_acceptance[delta + 10]:
+            self._rejections["swap_rejected"] += 1
+            return StepResult(False, move, None, "swap_rejected")
+        colors[source], colors[target] = target_color, source_color
+        self._accepted_swaps += 1
+        return StepResult(False, move, None, "swapped")
+
+    def _swap_homogeneity_delta(self, source: Node, target: Node) -> int:
+        """Change in same-color edge count if ``source`` and ``target`` swap colors.
+
+        The literal local computation from [9]: count same-color edges
+        incident to the pair (the pair's own edge excluded — its
+        homogeneity is unchanged by a swap of two distinct colors) before
+        and after exchanging the colors.
+        """
+        colors = self._node_colors
+
+        def local_homogeneous() -> int:
+            count = 0
+            for node in (source, target):
+                color = colors[node]
+                for nb in neighbors(node):
+                    if nb in (source, target):
+                        continue
+                    if colors.get(nb) == color:
+                        count += 1
+            return count
+
+        before = local_homogeneous()
+        colors[source], colors[target] = colors[target], colors[source]
+        after = local_homogeneous()
+        colors[source], colors[target] = colors[target], colors[source]
+        return after - before
 
     def run(self, iterations: int, callback: Optional[Callable[[int, StepResult], None]] = None) -> None:
         """Run the chain for a number of iterations.
@@ -256,4 +417,9 @@ class CompressionMarkovChain:
         self._positions[index] = target
         self._edge_count += edge_delta
         self._accepted += 1
+        mode = self._mode
+        if mode == "edge_site":
+            self._site_count += self._site_weight(target) - self._site_weight(source)
+        elif mode == "edge_color":
+            self._node_colors[target] = self._node_colors.pop(source)
         self._configuration_cache = None

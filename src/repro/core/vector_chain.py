@@ -82,6 +82,7 @@ from repro.core.fast_chain import (
     OccupancyGrid,
     move_tables_array,
 )
+from repro.core.kernels import WeightKernel
 from repro.core.markov_chain import REJECTION_REASONS, StepResult
 from repro.rng import DEFAULT_DRAW_BLOCK, RandomState
 
@@ -131,16 +132,30 @@ class VectorCompressionChain(FastCompressionChain):
     draw_block:
         Block size of the batched draw tape (must match the engine being
         compared against in differential tests).
+    kernel:
+        Optional :class:`~repro.core.kernels.WeightKernel`.  The
+        vectorized pass evaluates the whole Metropolis filter from a
+        per-mask acceptance gather, which only works for kernels whose
+        weight depends on the edge delta alone (``mode == "edge"``, i.e.
+        compression); kernels with auxiliary planes must use the fast
+        engine and raise a loud error here.
     """
 
     def __init__(
         self,
         initial: ParticleConfiguration,
-        lam: float,
+        lam: Optional[float] = None,
         seed: RandomState = None,
         draw_block: int = DEFAULT_DRAW_BLOCK,
+        kernel: Optional["WeightKernel"] = None,
     ) -> None:
-        super().__init__(initial, lam=lam, seed=seed, draw_block=draw_block)
+        if kernel is not None and kernel.mode != "edge":
+            raise ConfigurationError(
+                f"the vector engine only supports edge-mode kernels (got "
+                f"{kernel.name!r}, mode {kernel.mode!r}); use engine='fast' "
+                f"for kernels with auxiliary planes or extra move types"
+            )
+        super().__init__(initial, lam=lam, seed=seed, draw_block=draw_block, kernel=kernel)
         self._pos = np.array(self._pos, dtype=np.int64)
         tables = move_tables_array()
         self._nb_before_arr = np.ascontiguousarray(tables[:, 0])

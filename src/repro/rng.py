@@ -63,6 +63,13 @@ class BatchedMoveDraws:
     Each refill draws ``block`` particle indices (uniform on ``[0, n)``),
     ``block`` direction indices (uniform on ``[0, 6)``) and ``block``
     uniforms on ``[0, 1)`` from the underlying generator, in that order.
+    With ``lanes=2`` a *second* uniform block follows the first on every
+    refill — kernels with more than one move type (the separation chain's
+    color swaps) consume the lane-2 uniform as their per-iteration
+    move-type selector.  Because the extra lane is drawn strictly *after*
+    the canonical triple blocks, single-lane tapes (``lanes=1``, the
+    default) invoke the generator exactly as before the lane existed: the
+    compression engines' committed golden traces pin this bit-for-bit.
     The draws are kept as numpy arrays — the vector engine consumes them
     directly in whole-block numpy passes — with a memoized plain-list view
     (:meth:`lists`) for the scalar engines' per-element loops.
@@ -70,7 +77,9 @@ class BatchedMoveDraws:
     The uniform of a triple is consumed even when the proposal is rejected
     before the Metropolis filter (e.g. an occupied target); this keeps the
     tape position a pure function of the iteration count, so engines with
-    the same seed and block size stay aligned forever.
+    the same seed and block size stay aligned forever.  The same rule
+    applies to the second lane: one lane-2 uniform per iteration,
+    unconditionally.
 
     A refill may generate several blocks at once (``refill(blocks=k)``):
     the generator is still invoked once per ``block`` in the canonical
@@ -115,34 +124,57 @@ class BatchedMoveDraws:
     >>> wide.refill(blocks=3)
     >>> wide.draw() == (index, direction, uniform)
     True
+
+    The second lane is drawn after the triple blocks, so a two-lane tape's
+    first block of triples matches a single-lane tape draw for draw:
+
+    >>> two_lane = BatchedMoveDraws(np.random.default_rng(0), n=10, block=4, lanes=2)
+    >>> two_lane.draw2()[:3] == (index, direction, uniform)
+    True
+    >>> 0.0 <= two_lane.draw2()[3] < 1.0
+    True
     """
 
     __slots__ = (
         "_rng",
         "_n",
         "block",
+        "lanes",
         "indices",
         "directions",
         "uniforms",
+        "uniforms2",
         "cursor",
         "size",
         "_lists",
+        "_lists2",
     )
 
-    def __init__(self, rng: np.random.Generator, n: int, block: int = DEFAULT_DRAW_BLOCK) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        n: int,
+        block: int = DEFAULT_DRAW_BLOCK,
+        lanes: int = 1,
+    ) -> None:
         if n <= 0:
             raise ValueError(f"need at least one particle to draw indices, got n={n}")
         if block <= 0:
             raise ValueError(f"block size must be positive, got {block}")
+        if lanes not in (1, 2):
+            raise ValueError(f"lanes must be 1 or 2, got {lanes}")
         self._rng = rng
         self._n = n
         self.block = block
+        self.lanes = lanes
         self.indices: np.ndarray = np.empty(0, dtype=np.int64)
         self.directions: np.ndarray = np.empty(0, dtype=np.int64)
         self.uniforms: np.ndarray = np.empty(0, dtype=np.float64)
+        self.uniforms2: np.ndarray = np.empty(0, dtype=np.float64)
         self.cursor = 0
         self.size = 0
         self._lists: Optional[Tuple[List[int], List[int], List[float]]] = None
+        self._lists2: Optional[List[float]] = None
 
     def refill(self, blocks: int = 1) -> None:
         """Materialize the next ``blocks`` blocks, discarding any unread remainder.
@@ -158,18 +190,26 @@ class BatchedMoveDraws:
             self.indices = rng.integers(0, self._n, size=self.block)
             self.directions = rng.integers(0, 6, size=self.block)
             self.uniforms = rng.random(self.block)
+            if self.lanes == 2:
+                self.uniforms2 = rng.random(self.block)
         else:
             index_parts, direction_parts, uniform_parts = [], [], []
+            uniform2_parts = []
             for _ in range(blocks):
                 index_parts.append(rng.integers(0, self._n, size=self.block))
                 direction_parts.append(rng.integers(0, 6, size=self.block))
                 uniform_parts.append(rng.random(self.block))
+                if self.lanes == 2:
+                    uniform2_parts.append(rng.random(self.block))
             self.indices = np.concatenate(index_parts)
             self.directions = np.concatenate(direction_parts)
             self.uniforms = np.concatenate(uniform_parts)
+            if self.lanes == 2:
+                self.uniforms2 = np.concatenate(uniform2_parts)
         self.cursor = 0
         self.size = blocks * self.block
         self._lists = None
+        self._lists2 = None
 
     def lists(self) -> Tuple[List[int], List[int], List[float]]:
         """The materialized draws as plain Python lists (memoized per refill).
@@ -187,6 +227,16 @@ class BatchedMoveDraws:
             )
         return self._lists
 
+    def lists2(self) -> List[float]:
+        """The lane-2 uniforms as a plain Python list (memoized per refill).
+
+        Only meaningful on ``lanes=2`` tapes; single-lane tapes return an
+        empty list (nothing was drawn for the lane).
+        """
+        if self._lists2 is None:
+            self._lists2 = self.uniforms2.tolist()
+        return self._lists2
+
     def draw(self) -> Tuple[int, int, float]:
         """Consume and return the next ``(index, direction, uniform)`` triple."""
         if self.cursor >= self.size:
@@ -195,6 +245,24 @@ class BatchedMoveDraws:
         cursor = self.cursor
         self.cursor = cursor + 1
         return indices[cursor], directions[cursor], uniforms[cursor]
+
+    def draw2(self) -> Tuple[int, int, float, float]:
+        """Consume the next ``(index, direction, uniform, uniform2)`` quadruple.
+
+        The two-lane analogue of :meth:`draw` (requires ``lanes=2``): one
+        tape position yields both the canonical triple and the lane-2
+        uniform, so consumption stays one position per iteration no matter
+        which lane the kernel ends up using.
+        """
+        if self.lanes != 2:
+            raise ValueError("draw2() requires a tape constructed with lanes=2")
+        if self.cursor >= self.size:
+            self.refill()
+        indices, directions, uniforms = self.lists()
+        uniforms2 = self.lists2()
+        cursor = self.cursor
+        self.cursor = cursor + 1
+        return indices[cursor], directions[cursor], uniforms[cursor], uniforms2[cursor]
 
 
 class BatchedActivationDraws:

@@ -26,17 +26,25 @@ Quickstart::
 
 from repro.runtime.jobs import (
     AMOEBOT_JOB_KIND,
+    BRIDGING_JOB_KIND,
     JOB_KINDS,
+    SEPARATION_JOB_KIND,
     AmoebotJob,
+    BridgingJob,
     ChainJob,
     ChainResult,
+    SeparationJob,
     amoebot_replica_jobs,
+    bridging_gamma_sweep_jobs,
     execute_job,
     lambda_sweep_jobs,
     replica_jobs,
     run_amoebot_job,
+    run_bridging_job,
     run_job,
+    run_separation_job,
     scaling_time_jobs,
+    separation_replica_jobs,
 )
 from repro.runtime.results import ResultsTable
 from repro.runtime.checkpoint import (
@@ -57,17 +65,25 @@ from repro.runtime.runner import (
 
 __all__ = [
     "AMOEBOT_JOB_KIND",
+    "BRIDGING_JOB_KIND",
     "JOB_KINDS",
+    "SEPARATION_JOB_KIND",
     "AmoebotJob",
+    "BridgingJob",
     "ChainJob",
     "ChainResult",
+    "SeparationJob",
     "amoebot_replica_jobs",
+    "bridging_gamma_sweep_jobs",
     "execute_job",
     "run_amoebot_job",
+    "run_bridging_job",
+    "run_separation_job",
     "lambda_sweep_jobs",
     "replica_jobs",
     "run_job",
     "scaling_time_jobs",
+    "separation_replica_jobs",
     "ResultsTable",
     "EnsembleCheckpoint",
     "chain_result_from_json",

@@ -32,7 +32,14 @@ from repro.io.serialization import (
     trace_from_json,
     trace_to_json,
 )
-from repro.runtime.jobs import AmoebotJob, ChainJob, ChainResult, Job
+from repro.runtime.jobs import (
+    AmoebotJob,
+    BridgingJob,
+    ChainJob,
+    ChainResult,
+    Job,
+    SeparationJob,
+)
 
 PathLike = Union[str, Path]
 
@@ -47,9 +54,9 @@ def job_to_json(job: Job) -> Dict[str, Any]:
     Non-JSON-serializable metadata raises :class:`SerializationError` here,
     at submission time, rather than corrupting a checkpoint.
 
-    Distributed-simulator jobs carry a ``job_type: "amoebot"`` tag; chain
-    jobs stay untagged so documents written before the tag existed keep
-    resuming.
+    Distributed-simulator jobs carry a ``job_type: "amoebot"`` tag, the
+    extension chains ``"separation"`` / ``"bridging"``; chain jobs stay
+    untagged so documents written before the tags existed keep resuming.
     """
     try:
         payload = json.loads(json.dumps(asdict(job)))
@@ -60,6 +67,10 @@ def job_to_json(job: Job) -> Dict[str, Any]:
         ) from exc
     if isinstance(job, AmoebotJob):
         payload["job_type"] = "amoebot"
+    elif isinstance(job, SeparationJob):
+        payload["job_type"] = "separation"
+    elif isinstance(job, BridgingJob):
+        payload["job_type"] = "bridging"
     return payload
 
 
@@ -76,6 +87,14 @@ def job_from_json(payload: Dict[str, Any]) -> Job:
                     (int(pid), float(rate)) for pid, rate in data["rates"]
                 )
             return AmoebotJob(**data)
+        if job_type == "separation":
+            if data.get("colored_nodes") is not None:
+                data["colored_nodes"] = tuple(
+                    (int(x), int(y), int(color)) for x, y, color in data["colored_nodes"]
+                )
+            return SeparationJob(**data)
+        if job_type == "bridging":
+            return BridgingJob(**data)
         if job_type != "chain":
             raise SerializationError(f"unknown job_type {job_type!r}")
         return ChainJob(**data)
@@ -85,7 +104,7 @@ def job_from_json(payload: Dict[str, Any]) -> Job:
 
 def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
     """Serialize a chain result (job fingerprint included) to plain JSON."""
-    return {
+    payload = {
         "format_version": FORMAT_VERSION,
         "kind": "chain_result",
         "job": job_to_json(result.job),
@@ -96,6 +115,9 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
         "compression_time": result.compression_time,
         "wall_seconds": result.wall_seconds,
     }
+    if result.extra:
+        payload["extra"] = dict(result.extra)
+    return payload
 
 
 def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
@@ -112,6 +134,7 @@ def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
             rejection_counts={k: int(v) for k, v in payload["rejection_counts"].items()},
             compression_time=None if compression_time is None else int(compression_time),
             wall_seconds=float(payload["wall_seconds"]),
+            extra=dict(payload.get("extra", {})),
         )
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise SerializationError(f"malformed chain result payload: {exc}") from exc

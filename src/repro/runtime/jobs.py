@@ -43,6 +43,12 @@ JOB_KINDS = ("trace", "compression_time")
 #: The measurement kind of distributed-simulator jobs.
 AMOEBOT_JOB_KIND = "amoebot_trace"
 
+#: The measurement kinds of the extension-chain jobs (separation [9] and
+#: shortcut bridging [2], running on the shared engine stack via weight
+#: kernels).
+SEPARATION_JOB_KIND = "separation_trace"
+BRIDGING_JOB_KIND = "bridging_trace"
+
 #: Allowed characters in a job id (ids double as checkpoint file names).
 _JOB_ID_PATTERN = re.compile(r"^[A-Za-z0-9._\-]+$")
 
@@ -164,13 +170,19 @@ class ChainResult:
     compression_time: Optional[int] = None
     wall_seconds: float = 0.0
     from_checkpoint: bool = False
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     def final_point(self):
         """The last recorded trace sample."""
         return self.trace.final()
 
     def row(self) -> Dict[str, Any]:
-        """Flatten the result into one results-table row (plain scalars only)."""
+        """Flatten the result into one results-table row (plain scalars only).
+
+        Kernel-specific measurements (``extra`` — e.g. a separation job's
+        final homogeneous-edge count, a bridging job's gap occupancy) are
+        merged in as first-class columns.
+        """
         job = self.job
         final = self.trace.final()
         first = self.trace.points[0]
@@ -195,6 +207,7 @@ class ChainResult:
             "compression_time": self.compression_time,
             "wall_seconds": self.wall_seconds,
         }
+        row.update(self.extra)
         for key, value in job.metadata.items():
             row.setdefault(key, value)
         return row
@@ -390,14 +403,289 @@ def run_amoebot_job(job: AmoebotJob) -> ChainResult:
     )
 
 
+# ---------------------------------------------------------------------- #
+# Extension-chain jobs (weight kernels on the shared engine stack)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SeparationJob:
+    """One independent separation chain ([9]) run inside an ensemble.
+
+    A complete, picklable, JSON-serializable description of one seeded
+    :class:`repro.algorithms.separation.SeparationMarkovChain` run.
+    Executing it yields a :class:`ChainResult` whose trace samples the
+    usual perimeter metrics and whose ``extra`` dict carries the
+    chain-specific measurements (homogeneous edges, accepted swaps).
+
+    Attributes
+    ----------
+    job_id, lam, seed, engine, iterations, record_every, metadata:
+        As on :class:`ChainJob` (``engine`` is ``"fast"`` or
+        ``"reference"``; the vector engine cannot evaluate color planes).
+    gamma:
+        Homogeneity bias (``> 1`` segregates, ``< 1`` integrates).
+    swap_probability:
+        Probability an iteration attempts a color swap.
+    n:
+        Build a spiral of ``n`` particles colored by ``coloring``.
+        Mutually exclusive with ``colored_nodes``.
+    coloring:
+        ``"random"`` (uniform colors drawn from the job seed) or
+        ``"halves"`` (left/right split) for the ``n`` start.
+    num_colors:
+        Number of colors for ``coloring="random"``.
+    colored_nodes:
+        Explicit start as ``((x, y, color), ...)`` triples.
+    """
+
+    job_id: str
+    lam: float
+    gamma: float
+    seed: Optional[int]
+    swap_probability: float = 0.5
+    n: Optional[int] = None
+    coloring: str = "random"
+    num_colors: int = 2
+    colored_nodes: Optional[Tuple[Tuple[int, int, int], ...]] = None
+    engine: str = "fast"
+    iterations: int = 0
+    record_every: Optional[int] = None
+    kind: str = SEPARATION_JOB_KIND
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.algorithms.separation import SEPARATION_ENGINES
+
+        if not _JOB_ID_PATTERN.match(self.job_id):
+            raise ConfigurationError(
+                f"job_id must match [A-Za-z0-9._-]+ (it names checkpoint files), "
+                f"got {self.job_id!r}"
+            )
+        if self.engine not in SEPARATION_ENGINES:
+            raise ConfigurationError(
+                f"unknown separation engine {self.engine!r}; "
+                f"expected one of {sorted(SEPARATION_ENGINES)}"
+            )
+        if self.kind != SEPARATION_JOB_KIND:
+            raise ConfigurationError(
+                f"separation jobs have kind {SEPARATION_JOB_KIND!r}, got {self.kind!r}"
+            )
+        if (self.n is None) == (self.colored_nodes is None):
+            raise ConfigurationError("exactly one of n / colored_nodes must be given")
+        if self.coloring not in ("random", "halves"):
+            raise ConfigurationError(
+                f"coloring must be 'random' or 'halves', got {self.coloring!r}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"job seeds must be plain integers (picklable, serializable), "
+                f"got {type(self.seed).__name__}"
+            )
+        if self.iterations < 0:
+            raise ConfigurationError(
+                f"iterations must be non-negative, got {self.iterations}"
+            )
+
+    def build_initial(self):
+        """Materialize the colored starting configuration.
+
+        A random coloring draws from a seed *spawned* from the job seed,
+        not the job seed itself — the chain's draw tape also starts from
+        the job seed, and reusing it verbatim would make the initial
+        colors deterministically correlated with the trajectory's
+        randomness.
+        """
+        from repro.algorithms.separation import ColoredConfiguration
+        from repro.lattice.shapes import spiral
+
+        if self.colored_nodes is not None:
+            return ColoredConfiguration(
+                {(int(x), int(y)): int(color) for x, y, color in self.colored_nodes}
+            )
+        if self.coloring == "halves":
+            return ColoredConfiguration.halves(spiral(self.n))
+        coloring_seed = None if self.seed is None else spawn_seeds(self.seed, 1)[0]
+        return ColoredConfiguration.random_colors(
+            spiral(self.n), num_colors=self.num_colors, seed=coloring_seed
+        )
+
+
+def run_separation_job(job: SeparationJob) -> ChainResult:
+    """Execute one separation job to completion (pure in the ensemble sense)."""
+    from repro.algorithms.separation import SeparationMarkovChain
+
+    started = time.perf_counter()
+    colored = job.build_initial()
+    chain = SeparationMarkovChain(
+        colored,
+        lam=job.lam,
+        gamma=job.gamma,
+        swap_probability=job.swap_probability,
+        seed=job.seed,
+        engine=job.engine,
+    )
+    initial_homogeneous = colored.homogeneous_edges()
+    trace = _trace_extension_chain(chain.chain, job.iterations, job.record_every, job.lam)
+    state = chain.state
+    return ChainResult(
+        job=job,
+        trace=trace,
+        iterations=chain.iterations,
+        accepted_moves=chain.accepted_moves,
+        rejection_counts=chain.chain.rejection_counts,
+        compression_time=None,
+        wall_seconds=time.perf_counter() - started,
+        extra={
+            "accepted_swaps": chain.accepted_swaps,
+            "initial_homogeneous_edges": initial_homogeneous,
+            "final_homogeneous_edges": state.homogeneous_edges(),
+            "final_heterogeneous_edges": state.heterogeneous_edges(),
+        },
+    )
+
+
+@dataclass(frozen=True)
+class BridgingJob:
+    """One independent shortcut-bridging chain ([2]) run inside an ensemble.
+
+    Describes a V-shaped-terrain experiment parametrically (``arm_length``,
+    ``opening``, ``n``) so the job stays a compact pure-JSON value; the
+    terrain and the standard land-hugging start are rebuilt in the worker
+    via :func:`repro.algorithms.shortcut_bridging.v_shaped_terrain` /
+    ``initial_bridge_configuration``.  The result's ``extra`` dict carries
+    the bridge metrics (gap occupancy, anchor path length).
+    """
+
+    job_id: str
+    lam: float
+    gamma: float
+    seed: Optional[int]
+    n: int = 0
+    arm_length: int = 0
+    opening: int = 2
+    engine: str = "fast"
+    iterations: int = 0
+    record_every: Optional[int] = None
+    kind: str = BRIDGING_JOB_KIND
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.algorithms.shortcut_bridging import BRIDGING_ENGINES
+
+        if not _JOB_ID_PATTERN.match(self.job_id):
+            raise ConfigurationError(
+                f"job_id must match [A-Za-z0-9._-]+ (it names checkpoint files), "
+                f"got {self.job_id!r}"
+            )
+        if self.engine not in BRIDGING_ENGINES:
+            raise ConfigurationError(
+                f"unknown bridging engine {self.engine!r}; "
+                f"expected one of {sorted(BRIDGING_ENGINES)}"
+            )
+        if self.kind != BRIDGING_JOB_KIND:
+            raise ConfigurationError(
+                f"bridging jobs have kind {BRIDGING_JOB_KIND!r}, got {self.kind!r}"
+            )
+        if self.n < 1:
+            raise ConfigurationError(f"need at least one particle, got n={self.n}")
+        if self.arm_length < 2:
+            raise ConfigurationError(
+                f"arm_length must be at least 2, got {self.arm_length}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise ConfigurationError(
+                f"job seeds must be plain integers (picklable, serializable), "
+                f"got {type(self.seed).__name__}"
+            )
+        if self.iterations < 0:
+            raise ConfigurationError(
+                f"iterations must be non-negative, got {self.iterations}"
+            )
+
+    def build_terrain(self):
+        """Materialize the V-shaped terrain described by the job."""
+        from repro.algorithms.shortcut_bridging import v_shaped_terrain
+
+        return v_shaped_terrain(self.arm_length, opening=self.opening)
+
+
+def run_bridging_job(job: BridgingJob) -> ChainResult:
+    """Execute one bridging job to completion (pure in the ensemble sense)."""
+    from repro.algorithms.shortcut_bridging import (
+        BridgingMarkovChain,
+        initial_bridge_configuration,
+    )
+
+    started = time.perf_counter()
+    terrain = job.build_terrain()
+    initial = initial_bridge_configuration(terrain, job.n)
+    chain = BridgingMarkovChain(
+        initial, terrain, lam=job.lam, gamma=job.gamma, seed=job.seed, engine=job.engine
+    )
+    trace = _trace_extension_chain(chain.chain, job.iterations, job.record_every, job.lam)
+    path_length = chain.anchor_path_length()
+    return ChainResult(
+        job=job,
+        trace=trace,
+        iterations=chain.iterations,
+        accepted_moves=chain.accepted_moves,
+        rejection_counts=chain.chain.rejection_counts,
+        compression_time=None,
+        wall_seconds=time.perf_counter() - started,
+        extra={
+            "final_gap_occupancy": chain.gap_occupancy(),
+            "final_anchor_path_length": path_length,
+        },
+    )
+
+
+def _trace_extension_chain(engine, iterations: int, record_every: Optional[int], lam: float) -> CompressionTrace:
+    """Run an engine for ``iterations``, sampling the standard trace metrics.
+
+    The engines maintain perimeter/edge/hole counters for every kernel, so
+    extension-chain traces reuse :class:`CompressionTrace` — and with it
+    the whole results-table / checkpoint / statistics stack — unchanged.
+    """
+    n = engine.n
+    pmin = min_perimeter(n)
+    pmax = max_perimeter(n)
+    trace = CompressionTrace(n=n, lam=lam)
+
+    def record() -> None:
+        perimeter = engine.perimeter()
+        trace.points.append(
+            TracePoint(
+                iteration=engine.iterations,
+                perimeter=perimeter,
+                edges=engine.edge_count,
+                holes=engine.hole_count(),
+                alpha=perimeter / pmin if pmin else 1.0,
+                beta=perimeter / pmax if pmax else 0.0,
+            )
+        )
+
+    record()
+    interval = record_every or max(1, iterations // 100)
+    done = 0
+    while done < iterations:
+        block = min(interval, iterations - done)
+        engine.run(block)
+        done += block
+        record()
+    return trace
+
+
 #: Any job the ensemble runner can execute.
-Job = Union["ChainJob", "AmoebotJob"]
+Job = Union["ChainJob", "AmoebotJob", "SeparationJob", "BridgingJob"]
 
 
 def execute_job(job: Job) -> ChainResult:
     """Run any supported job kind; the generic worker entry point."""
     if isinstance(job, AmoebotJob):
         return run_amoebot_job(job)
+    if isinstance(job, SeparationJob):
+        return run_separation_job(job)
+    if isinstance(job, BridgingJob):
+        return run_bridging_job(job)
     return run_job(job)
 
 
@@ -557,3 +845,87 @@ def replica_jobs(
         )
         for replica in range(replicas)
     ]
+
+
+def separation_replica_jobs(
+    n: int,
+    lam: float,
+    gamma: float,
+    iterations: int,
+    replicas: int,
+    seed: Optional[int] = 0,
+    swap_probability: float = 0.5,
+    coloring: str = "random",
+    num_colors: int = 2,
+    engine: str = "fast",
+    record_every: Optional[int] = None,
+) -> List[SeparationJob]:
+    """Jobs for a separation replica ensemble at fixed ``(n, lambda, gamma)``.
+
+    Seeds follow the same :func:`repro.rng.spawn_seeds` scheme as every
+    other builder, so parallel colored ensembles are bit-identical to
+    serial ones and growing ``replicas`` keeps existing trajectories.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be at least 1, got {replicas}")
+    seeds = spawn_seeds(seed, replicas)
+    return [
+        SeparationJob(
+            job_id=f"separation-gam{_number_label(gamma)}-r{replica}",
+            lam=float(lam),
+            gamma=float(gamma),
+            seed=seeds[replica],
+            swap_probability=swap_probability,
+            n=n,
+            coloring=coloring,
+            num_colors=num_colors,
+            engine=engine,
+            iterations=iterations,
+            record_every=record_every,
+            metadata={"replica": replica},
+        )
+        for replica in range(replicas)
+    ]
+
+
+def bridging_gamma_sweep_jobs(
+    n: int,
+    lam: float,
+    gammas: Sequence[float],
+    iterations: int,
+    arm_length: int,
+    opening: int = 2,
+    seed: Optional[int] = 0,
+    engine: str = "fast",
+    replicas: int = 1,
+    record_every: Optional[int] = None,
+) -> List[BridgingJob]:
+    """Jobs for the shortcut-bridging gamma sweep of [2]'s experiments.
+
+    ``replicas`` independent chains per gamma on the same V-shaped
+    terrain; seeds are indexed replica-major like
+    :func:`lambda_sweep_jobs`, so raising ``replicas`` extends a
+    checkpointed sweep without reseeding existing jobs.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be at least 1, got {replicas}")
+    seeds = spawn_seeds(seed, len(gammas) * replicas)
+    jobs: List[BridgingJob] = []
+    for i, gamma in enumerate(gammas):
+        for replica in range(replicas):
+            jobs.append(
+                BridgingJob(
+                    job_id=f"bridging-i{i}-gam{_number_label(gamma)}-r{replica}",
+                    lam=float(lam),
+                    gamma=float(gamma),
+                    seed=seeds[replica * len(gammas) + i],
+                    n=n,
+                    arm_length=arm_length,
+                    opening=opening,
+                    engine=engine,
+                    iterations=iterations,
+                    record_every=record_every,
+                    metadata={"gamma_index": i, "replica": replica},
+                )
+            )
+    return jobs

@@ -17,7 +17,7 @@ from repro.constants import (
     pmin_lower_bound,
     pmin_upper_bound,
 )
-from repro.rng import make_rng, spawn_rngs
+from repro.rng import BatchedMoveDraws, make_rng, spawn_rngs
 
 
 class TestConstants:
@@ -72,3 +72,64 @@ class TestRng:
     def test_spawn_validation(self):
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
+
+
+class TestBatchedMoveDrawLanes:
+    """The optional second uniform lane of the batched draw tape.
+
+    The critical contract (pinned here and — at the engine level — by the
+    committed compression golden traces): ``lanes=1`` invokes the
+    generator exactly as before the lane existed, so every single-lane
+    consumer's seeded trajectory is unchanged.
+    """
+
+    def test_single_lane_stream_matches_manual_generator_calls(self):
+        """lanes=1 draws exactly (indices, directions, uniforms) per block."""
+        tape = BatchedMoveDraws(np.random.default_rng(42), n=10, block=8)
+        twin = np.random.default_rng(42)
+        for _ in range(3):  # three refills worth of draws
+            expected = list(
+                zip(
+                    twin.integers(0, 10, size=8).tolist(),
+                    twin.integers(0, 6, size=8).tolist(),
+                    twin.random(8).tolist(),
+                )
+            )
+            assert [tape.draw() for _ in range(8)] == expected
+
+    def test_default_is_single_lane(self):
+        assert BatchedMoveDraws(np.random.default_rng(0), n=4).lanes == 1
+
+    def test_second_lane_is_drawn_after_the_triple_blocks(self):
+        """Canonical per-block order: indices, directions, uniforms, uniforms2."""
+        tape = BatchedMoveDraws(np.random.default_rng(7), n=5, block=6, lanes=2)
+        twin = np.random.default_rng(7)
+        for _ in range(3):
+            indices = twin.integers(0, 5, size=6).tolist()
+            directions = twin.integers(0, 6, size=6).tolist()
+            uniforms = twin.random(6).tolist()
+            uniforms2 = twin.random(6).tolist()
+            expected = list(zip(indices, directions, uniforms, uniforms2))
+            assert [tape.draw2() for _ in range(6)] == expected
+
+    def test_first_block_triples_agree_across_lane_counts(self):
+        """Within one block the extra lane cannot perturb the triples."""
+        single = BatchedMoveDraws(np.random.default_rng(3), n=8, block=16)
+        double = BatchedMoveDraws(np.random.default_rng(3), n=8, block=16, lanes=2)
+        for _ in range(16):
+            assert double.draw2()[:3] == single.draw()
+
+    def test_multiblock_refill_keeps_two_lane_stream(self):
+        """refill(blocks=k) must equal k single-block refills, lanes included."""
+        wide = BatchedMoveDraws(np.random.default_rng(9), n=6, block=4, lanes=2)
+        wide.refill(blocks=3)
+        narrow = BatchedMoveDraws(np.random.default_rng(9), n=6, block=4, lanes=2)
+        assert [wide.draw2() for _ in range(12)] == [narrow.draw2() for _ in range(12)]
+
+    def test_draw2_requires_two_lanes(self):
+        with pytest.raises(ValueError):
+            BatchedMoveDraws(np.random.default_rng(0), n=4).draw2()
+
+    def test_lane_count_validation(self):
+        with pytest.raises(ValueError):
+            BatchedMoveDraws(np.random.default_rng(0), n=4, lanes=3)
