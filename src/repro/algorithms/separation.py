@@ -20,9 +20,11 @@ For ``gamma > 1`` the chain favors homogeneous neighborhoods
 :class:`SeparationMarkovChain` is a thin wrapper over the shared engine
 stack: the chain-specific weight lives in
 :class:`repro.core.kernels.SeparationKernel`, and ``engine="reference"``
-(hash-map state, literal property checks) or ``engine="fast"`` (dense
-grid, move tables, color byte plane — an order of magnitude faster)
-selects the execution engine.  Both engines consume the two-lane batched
+(hash-map state, literal property checks), ``engine="fast"`` (dense
+grid, move tables, color byte plane — an order of magnitude faster) or
+``engine="vector"`` (numpy block passes over the same planes, with the
+conflict cut extended to color-plane touches — fastest at large n)
+selects the execution engine.  All three consume the two-lane batched
 draw tape, so for equal seeds they produce bit-identical trajectories —
 the same differential contract the compression engines obey
 (``tests/algorithms/test_separation_engines.py``).
@@ -36,16 +38,19 @@ from typing import Dict, FrozenSet
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.kernels import SeparationKernel
 from repro.core.markov_chain import CompressionMarkovChain, StepResult
+from repro.core.vector_chain import VectorCompressionChain
 from repro.errors import AlgorithmError, ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.triangular import Node
 from repro.rng import DEFAULT_DRAW_BLOCK, RandomState, make_rng
 
-#: The engines a separation chain can run on.  (The vector engine's numpy
-#: pass cannot evaluate color-plane weights; it raises a loud error.)
+#: The engines a separation chain can run on.  All three compression
+#: engines drive the separation kernel; the vector engine evaluates the
+#: color plane and both uniform lanes inside its numpy pass.
 SEPARATION_ENGINES: Dict[str, type] = {
     "reference": CompressionMarkovChain,
     "fast": FastCompressionChain,
+    "vector": VectorCompressionChain,
 }
 
 
@@ -138,9 +143,11 @@ class SeparationMarkovChain:
     seed:
         Seed or generator for reproducible runs.
     engine:
-        ``"reference"`` (default) or ``"fast"``; bit-identical
-        trajectories for equal seeds, roughly an order of magnitude apart
-        in throughput at ``n = 1000``.
+        ``"reference"`` (default), ``"fast"`` or ``"vector"``;
+        bit-identical trajectories for equal seeds.  ``fast`` is roughly
+        an order of magnitude above ``reference`` at ``n = 1000``;
+        ``vector`` pulls ahead of ``fast`` as ``n`` grows into the
+        thousands (see ``benchmarks/BENCH_chain.json``).
     draw_block:
         Block size of the batched draw tape (engines compared in
         differential tests must use equal blocks).

@@ -23,10 +23,11 @@ substitution.
 
 :class:`BridgingMarkovChain` is a thin wrapper over the shared engine
 stack: the terrain weight lives in
-:class:`repro.core.kernels.BridgingKernel`, and ``engine="reference"``
-or ``engine="fast"`` (terrain byte plane over the dense grid, an order
-of magnitude faster) selects the execution engine — bit-identical
-trajectories for equal seeds, enforced by
+:class:`repro.core.kernels.BridgingKernel`, and ``engine="reference"``,
+``engine="fast"`` (terrain byte plane over the dense grid, an order
+of magnitude faster) or ``engine="vector"`` (numpy block passes reading
+the same terrain plane — fastest at large n) selects the execution
+engine — bit-identical trajectories for equal seeds, enforced by
 ``tests/algorithms/test_bridging_engines.py``.
 """
 
@@ -38,16 +39,19 @@ from typing import Dict, FrozenSet, Optional, Set
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.kernels import BridgingKernel
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.vector_chain import VectorCompressionChain
 from repro.errors import AlgorithmError, ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.triangular import Node, neighbors
 from repro.rng import DEFAULT_DRAW_BLOCK, RandomState
 
-#: The engines a bridging chain can run on.  (The vector engine's numpy
-#: pass cannot evaluate terrain-plane weights; it raises a loud error.)
+#: The engines a bridging chain can run on.  All three compression
+#: engines drive the bridging kernel; the vector engine evaluates the
+#: terrain plane inside its numpy pass.
 BRIDGING_ENGINES: Dict[str, type] = {
     "reference": CompressionMarkovChain,
     "fast": FastCompressionChain,
+    "vector": VectorCompressionChain,
 }
 
 
@@ -171,8 +175,8 @@ class BridgingMarkovChain:
     seed:
         Seed or generator for reproducible runs.
     engine:
-        ``"reference"`` (default) or ``"fast"``; bit-identical
-        trajectories for equal seeds.
+        ``"reference"`` (default), ``"fast"`` or ``"vector"``;
+        bit-identical trajectories for equal seeds.
     draw_block:
         Block size of the batched draw tape.
     """

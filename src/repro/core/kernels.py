@@ -24,12 +24,12 @@ terrain plane for bridging, a color plane for separation — and the
 declaration of extra move types (separation's swaps) with the draw-tape
 lanes they consume.  Every engine — the hash-map reference
 :class:`~repro.core.markov_chain.CompressionMarkovChain`, the table-driven
-:class:`~repro.core.fast_chain.FastCompressionChain`, and (for the
-default kernel) the block-vectorized
+:class:`~repro.core.fast_chain.FastCompressionChain`, and the
+block-vectorized
 :class:`~repro.core.vector_chain.VectorCompressionChain` — consumes the
-same kernel tables, so for equal seeds the reference and fast engines of
-*any* kernel produce bit-identical trajectories, exactly like the
-compression engines always have.
+same kernel tables, so for equal seeds all three engines of *any*
+registered kernel mode produce bit-identical trajectories, exactly like
+the compression engines always have.
 
 Kernels are immutable parameter objects; all mutable chain state (the
 occupancy grid, the auxiliary planes, counters) lives in the engines.

@@ -230,9 +230,14 @@ class BatchedMoveDraws:
     def lists2(self) -> List[float]:
         """The lane-2 uniforms as a plain Python list (memoized per refill).
 
-        Only meaningful on ``lanes=2`` tapes; single-lane tapes return an
-        empty list (nothing was drawn for the lane).
+        Requires ``lanes=2``, like :meth:`draw2`: on a single-lane tape
+        the lane-2 buffer is never drawn, so returning it (always ``[]``)
+        would let a two-lane consumer run off the end of the lane mid-block
+        and silently desynchronize from the reference trajectory instead
+        of failing at the first read.
         """
+        if self.lanes != 2:
+            raise ValueError("lists2() requires a tape constructed with lanes=2")
         if self._lists2 is None:
             self._lists2 = self.uniforms2.tolist()
         return self._lists2

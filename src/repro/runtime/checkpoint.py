@@ -24,6 +24,8 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError, SerializationError
 from repro.io.serialization import (
     FORMAT_VERSION,
@@ -102,9 +104,28 @@ def job_from_json(payload: Dict[str, Any]) -> Job:
         raise SerializationError(f"malformed job payload: {exc}") from exc
 
 
+def _plain(value: Any) -> Any:
+    """Coerce a numpy scalar to its Python equivalent; pass everything else through.
+
+    Kernel metrics in ``ChainResult.extra`` are produced by engine
+    internals; a counter that leaks through as ``numpy.int64`` must not
+    abort the atomic checkpoint write (``save_json`` refuses anything
+    ``json.dumps`` cannot encode), so the document layer normalizes
+    scalars instead of losing the job's result at persist time.
+    """
+    return value.item() if isinstance(value, np.generic) else value
+
+
 def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
-    """Serialize a chain result (job fingerprint included) to plain JSON."""
-    payload = {
+    """Serialize a chain result (job fingerprint included) to plain JSON.
+
+    ``extra`` is always written — even when empty — so every document
+    states its kernel metrics explicitly; only documents from before the
+    field existed lack the key, and :func:`chain_result_from_json` treats
+    those (and an explicit ``null``) as empty rather than refusing, so
+    old and new documents resume side by side.
+    """
+    return {
         "format_version": FORMAT_VERSION,
         "kind": "chain_result",
         "job": job_to_json(result.job),
@@ -114,10 +135,8 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
         "rejection_counts": dict(result.rejection_counts),
         "compression_time": result.compression_time,
         "wall_seconds": result.wall_seconds,
+        "extra": {key: _plain(value) for key, value in result.extra.items()},
     }
-    if result.extra:
-        payload["extra"] = dict(result.extra)
-    return payload
 
 
 def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
@@ -134,7 +153,7 @@ def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
             rejection_counts={k: int(v) for k, v in payload["rejection_counts"].items()},
             compression_time=None if compression_time is None else int(compression_time),
             wall_seconds=float(payload["wall_seconds"]),
-            extra=dict(payload.get("extra", {})),
+            extra=dict(payload.get("extra") or {}),
         )
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise SerializationError(f"malformed chain result payload: {exc}") from exc

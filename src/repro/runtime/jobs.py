@@ -419,8 +419,8 @@ class SeparationJob:
     Attributes
     ----------
     job_id, lam, seed, engine, iterations, record_every, metadata:
-        As on :class:`ChainJob` (``engine`` is ``"fast"`` or
-        ``"reference"``; the vector engine cannot evaluate color planes).
+        As on :class:`ChainJob` (``engine`` is ``"fast"``,
+        ``"reference"`` or ``"vector"``).
     gamma:
         Homogeneity bias (``> 1`` segregates, ``< 1`` integrates).
     swap_probability:

@@ -2,10 +2,13 @@
 
 The shortcut-bridging chain of [2] runs on the shared engine stack via
 :class:`repro.core.kernels.BridgingKernel`; this file holds it to the
-same contract as the compression engines: lockstep reference/fast
-bit-identity, randomized invariants (connectivity; the incrementally
-maintained gap occupancy ``g(sigma)`` against the from-scratch terrain
-recomputation), and a committed golden trace.
+same contract as the compression engines: lockstep reference/fast/vector
+bit-identity (the vector engine resolves proposals in numpy block passes
+against the terrain byte plane), block-run and mixed ``step()``/``run()``
+agreement at every chunk boundary, randomized invariants (connectivity;
+the incrementally maintained gap occupancy ``g(sigma)`` against the
+from-scratch terrain recomputation), and a committed golden trace pinned
+on all three engines.
 """
 
 import json
@@ -58,11 +61,11 @@ LOCKSTEP_CASES = (
 )
 
 
-def engine_pair(terrain, initial, lam, gamma, seed):
+def engine_trio(terrain, initial, lam, gamma, seed):
     kwargs = dict(lam=lam, gamma=gamma, seed=seed)
-    return (
-        BridgingMarkovChain(initial, terrain, engine="reference", **kwargs),
-        BridgingMarkovChain(initial, terrain, engine="fast", **kwargs),
+    return tuple(
+        BridgingMarkovChain(initial, terrain, engine=engine, **kwargs)
+        for engine in ("reference", "fast", "vector")
     )
 
 
@@ -79,41 +82,78 @@ def assert_same_final_state(fast, reference, context=""):
 @pytest.mark.parametrize("name", LOCKSTEP_CASES)
 def test_lockstep_trajectories_are_identical(name):
     terrain, initial, lam, gamma, iterations = _case(name)
-    reference, fast = engine_pair(terrain, initial, lam, gamma, seed=7)
+    reference, fast, vector = engine_trio(terrain, initial, lam, gamma, seed=7)
     for iteration in range(iterations):
         expected = reference.chain.step()
-        actual = fast.chain.step()
-        assert actual == expected, (
-            f"{name}: trajectories diverged at iteration {iteration}: "
-            f"reference={expected}, fast={actual}"
-        )
+        for label, chain in (("fast", fast), ("vector", vector)):
+            actual = chain.chain.step()
+            assert actual == expected, (
+                f"{name}: trajectories diverged at iteration {iteration}: "
+                f"reference={expected}, {label}={actual}"
+            )
     assert_same_final_state(fast, reference, name)
+    assert_same_final_state(vector, reference, name)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("name", LOCKSTEP_CASES)
 def test_block_runs_match_lockstep_runs(name):
-    """run(k) must consume the tape exactly like k step() calls."""
+    """run(k) must consume the tape exactly like k step() calls — on the
+    vector engine that is the numpy pass with the terrain-plane conflict
+    cut, checked against the fast engine's gap occupancy at every chunk
+    boundary."""
     terrain, initial, lam, gamma, iterations = _case(name)
-    reference, fast = engine_pair(terrain, initial, lam, gamma, seed=19)
+    reference, fast, vector = engine_trio(terrain, initial, lam, gamma, seed=19)
     for chunk in (1, 37, 700, 1024, iterations):
         reference.run(chunk)
         fast.run(chunk)
+        vector.run(chunk)
         assert fast.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
+        assert vector.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
+        assert vector.gap_occupancy() == fast.gap_occupancy(), f"{name}@{chunk}"
     assert_same_final_state(fast, reference, name)
+    assert_same_final_state(vector, reference, name)
+
+
+@pytest.mark.slow
+def test_vector_mixed_step_and_run_interleavings_match_fast():
+    """step() (scalar path) and run() (numpy pass) share one tape; any
+    interleaving must stay bit-identical to the fast engine."""
+    terrain = v_shaped_terrain(5)
+    initial = initial_bridge_configuration(terrain, 30)
+    kwargs = dict(lam=4.0, gamma=2.0, seed=21)
+    fast = BridgingMarkovChain(initial, terrain, engine="fast", **kwargs)
+    vector = BridgingMarkovChain(initial, terrain, engine="vector", **kwargs)
+    schedule = [
+        ("run", 700), ("step", 5), ("run", 1), ("step", 1),
+        ("run", 2048), ("step", 3), ("run", 333),
+    ]
+    for action, amount in schedule:
+        if action == "run":
+            fast.run(amount)
+            vector.run(amount)
+        else:
+            for _ in range(amount):
+                assert vector.chain.step() == fast.chain.step()
+        assert vector.gap_occupancy() == fast.gap_occupancy(), (action, amount)
+    assert_same_final_state(vector, fast)
 
 
 @pytest.mark.slow
 def test_long_run_with_grid_reallocation_matches_reference():
-    """Unbiased drift forces several re-centers (terrain plane rebuilds)."""
+    """Unbiased drift forces several re-centers (terrain plane rebuilds —
+    on the vector engine the guard-band re-center also rebuilds the aux
+    plane the block pass reads)."""
     terrain = v_shaped_terrain(4)
-    reference, fast = engine_pair(terrain, line(22), 1.0, 1.1, seed=13)
+    reference, fast, vector = engine_trio(terrain, line(22), 1.0, 1.1, seed=13)
     reference.run(150_000)
     fast.run(150_000)
+    vector.run(150_000)
     assert_same_final_state(fast, reference)
+    assert_same_final_state(vector, reference)
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
 class TestInvariants:
     def test_gap_occupancy_matches_terrain_recomputation(self, engine):
         """The engines' incremental g(sigma) against the from-scratch count,
@@ -159,6 +199,8 @@ class TestWrapper:
         chain = BridgingMarkovChain(initial, terrain, 4.0, 2.0, engine="fast")
         assert chain.engine == "fast"
         assert chain.step() in (True, False)
+        vectorized = BridgingMarkovChain(initial, terrain, 4.0, 2.0, engine="vector")
+        assert vectorized.engine == "vector"
         with pytest.raises(ConfigurationError):
             BridgingMarkovChain(initial, terrain, 4.0, 2.0, engine="warp")
 
@@ -190,7 +232,7 @@ class TestGoldenTrace:
         terrain = v_shaped_terrain(golden["arm_length"], opening=golden["opening"])
         return terrain, initial_bridge_configuration(terrain, golden["n"])
 
-    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
     def test_engine_reproduces_golden_trace(self, golden, setup, engine):
         terrain, initial = setup
         chain = BridgingMarkovChain(
@@ -224,7 +266,7 @@ class TestGoldenTrace:
         assert chain.chain.rejection_counts == final["rejection_counts"]
         assert sorted(list(node) for node in chain.chain.occupied) == final["occupied"]
 
-    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
     def test_engine_run_reproduces_golden_final_state(self, golden, setup, engine):
         terrain, initial = setup
         chain = BridgingMarkovChain(

@@ -5,14 +5,21 @@ The separation chain of [9] runs on the shared engine stack via
 same contract as the compression engines:
 
 * **Lockstep differential:** seeded identically, the reference
-  (hash-map) and fast (grid + color byte plane) engines must produce
-  bit-identical trajectories — the same proposal each iteration,
-  resolved the same way, movements and color swaps alike.
+  (hash-map), fast (grid + color byte plane) and vector (numpy block
+  pass with aux-plane conflict cut) engines must produce bit-identical
+  trajectories — the same proposal each iteration, resolved the same
+  way, movements and color swaps alike.
+* **Block-run differential:** the vector engine's ``run()`` resolves
+  whole blocks of proposals per numpy pass; it must land on the fast
+  engine's exact state (occupancy *and* colors) at every chunk
+  boundary, including chunks that straddle draw blocks and pass sizes,
+  and across mixed ``step()``/``run()`` interleavings.
 * **Randomized invariants:** per-color particle counts are conserved
   across swaps, connectivity is preserved, and the incrementally
   maintained edge count matches a from-scratch recomputation.
 * **Golden trace:** a committed fixture pins the exact trajectory of a
-  standard start, so silent protocol changes fail loudly.
+  standard start, so silent protocol changes fail loudly — on all three
+  engines.
 """
 
 import json
@@ -50,11 +57,11 @@ LOCKSTEP_CASES = {
 }
 
 
-def engine_pair(colored, lam, gamma, swap_probability, seed):
+def engine_trio(colored, lam, gamma, swap_probability, seed):
     kwargs = dict(lam=lam, gamma=gamma, swap_probability=swap_probability, seed=seed)
-    return (
-        SeparationMarkovChain(colored, engine="reference", **kwargs),
-        SeparationMarkovChain(colored, engine="fast", **kwargs),
+    return tuple(
+        SeparationMarkovChain(colored, engine=engine, **kwargs)
+        for engine in ("reference", "fast", "vector")
     )
 
 
@@ -72,42 +79,77 @@ def assert_same_final_state(fast, reference, context=""):
 @pytest.mark.parametrize("name", sorted(LOCKSTEP_CASES))
 def test_lockstep_trajectories_are_identical(name):
     colored, lam, gamma, swap_probability, iterations = LOCKSTEP_CASES[name]
-    reference, fast = engine_pair(colored, lam, gamma, swap_probability, seed=7)
+    reference, fast, vector = engine_trio(colored, lam, gamma, swap_probability, seed=7)
     for iteration in range(iterations):
         expected = reference.step()
-        actual = fast.step()
-        assert actual == expected, (
-            f"{name}: trajectories diverged at iteration {iteration}: "
-            f"reference={expected}, fast={actual}"
-        )
+        for label, chain in (("fast", fast), ("vector", vector)):
+            actual = chain.step()
+            assert actual == expected, (
+                f"{name}: trajectories diverged at iteration {iteration}: "
+                f"reference={expected}, {label}={actual}"
+            )
     assert_same_final_state(fast, reference, name)
+    assert_same_final_state(vector, reference, name)
 
 
 @pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(LOCKSTEP_CASES))
 def test_block_runs_match_lockstep_runs(name):
-    """run(k) must consume the two-lane tape exactly like k step() calls."""
+    """run(k) must consume the two-lane tape exactly like k step() calls —
+    on the vector engine that is the numpy pass with the aux-plane
+    conflict cut, checked against the fast engine's colors at every
+    chunk boundary."""
     colored, lam, gamma, swap_probability, iterations = LOCKSTEP_CASES[name]
-    reference, fast = engine_pair(colored, lam, gamma, swap_probability, seed=19)
+    reference, fast, vector = engine_trio(colored, lam, gamma, swap_probability, seed=19)
     for chunk in (1, 37, 700, 1024, iterations):  # straddles draw blocks
         reference.run(chunk)
         fast.run(chunk)
+        vector.run(chunk)
         assert fast.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
+        assert vector.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
+        assert vector.state.colors == fast.state.colors, f"{name}@{chunk}"
     assert_same_final_state(fast, reference, name)
+    assert_same_final_state(vector, reference, name)
+
+
+@pytest.mark.slow
+def test_vector_mixed_step_and_run_interleavings_match_fast():
+    """step() (scalar path) and run() (numpy pass) share one tape; any
+    interleaving must stay bit-identical to the fast engine."""
+    colored = ColoredConfiguration.random_colors(spiral(24), seed=9)
+    kwargs = dict(lam=3.0, gamma=1.5, swap_probability=0.5, seed=21)
+    fast = SeparationMarkovChain(colored, engine="fast", **kwargs)
+    vector = SeparationMarkovChain(colored, engine="vector", **kwargs)
+    schedule = [
+        ("run", 700), ("step", 5), ("run", 1), ("step", 1),
+        ("run", 2048), ("step", 3), ("run", 333),
+    ]
+    for action, amount in schedule:
+        if action == "run":
+            fast.run(amount)
+            vector.run(amount)
+        else:
+            for _ in range(amount):
+                assert vector.step() == fast.step()
+        assert vector.chain.edge_count == fast.chain.edge_count, (action, amount)
+    assert_same_final_state(vector, fast)
 
 
 @pytest.mark.slow
 def test_long_run_with_grid_reallocation_matches_reference():
     """An unbiased colored blob drifts far enough to force grid re-centers
-    (which rebuild the fast engine's color plane)."""
+    (which rebuild the fast engine's color plane — and, on the vector
+    engine, carry the colors across the re-centered grid)."""
     colored = ColoredConfiguration.random_colors(line(25), seed=2)
-    reference, fast = engine_pair(colored, 1.0, 1.2, 0.5, seed=13)
+    reference, fast, vector = engine_trio(colored, 1.0, 1.2, 0.5, seed=13)
     reference.run(150_000)
     fast.run(150_000)
+    vector.run(150_000)
     assert_same_final_state(fast, reference)
+    assert_same_final_state(vector, reference)
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast"])
+@pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
 class TestInvariants:
     def test_color_counts_conserved_and_connectivity_preserved(self, engine):
         for seed in range(4):
@@ -139,6 +181,7 @@ class TestWrapper:
     def test_engine_selection_and_unknown_engine(self):
         colored = ColoredConfiguration.halves(line(8))
         assert SeparationMarkovChain(colored, 4.0, 2.0, engine="fast").engine == "fast"
+        assert SeparationMarkovChain(colored, 4.0, 2.0, engine="vector").engine == "vector"
         with pytest.raises(ConfigurationError):
             SeparationMarkovChain(colored, 4.0, 2.0, engine="warp")
 
@@ -170,7 +213,7 @@ class TestGoldenTrace:
         assert rebuilt.colors == colored.colors
         return colored
 
-    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
     def test_engine_reproduces_golden_trace(self, golden, start, engine):
         chain = SeparationMarkovChain(
             start,
@@ -206,7 +249,7 @@ class TestGoldenTrace:
             [x, y, c] for (x, y), c in chain.state.colors.items()
         ) == final["colors"]
 
-    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
     def test_engine_run_reproduces_golden_final_state(self, golden, start, engine):
         """The batched run() paths land on the committed final state too."""
         chain = SeparationMarkovChain(

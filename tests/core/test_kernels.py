@@ -135,17 +135,34 @@ class TestDefaultKernelTransparency:
 
 
 class TestEngineKernelSupport:
-    def test_vector_engine_rejects_aux_plane_kernels(self):
-        """The numpy pass cannot read aux planes; the error must be loud."""
+    def test_vector_engine_drives_all_registered_kernel_modes(self):
+        """The numpy pass now evaluates the aux-plane kernels too."""
         colors = _halves_colors(spiral(12))
-        with pytest.raises(ConfigurationError):
-            VectorCompressionChain(
-                spiral(12), kernel=SeparationKernel(4.0, 2.0, colors=colors)
-            )
-        with pytest.raises(ConfigurationError):
-            VectorCompressionChain(
-                line(6), kernel=BridgingKernel(4.0, 2.0, land=frozenset(line(6).nodes))
-            )
+        separation = VectorCompressionChain(
+            spiral(12), kernel=SeparationKernel(4.0, 2.0, colors=colors)
+        )
+        bridging = VectorCompressionChain(
+            line(6), kernel=BridgingKernel(4.0, 2.0, land=frozenset(line(6).nodes))
+        )
+        separation.run(200)
+        bridging.run(200)
+        assert separation.iterations == bridging.iterations == 200
+
+    def test_vector_engine_refuses_unknown_kernel_modes_actionably(self):
+        """A future kernel mode without a vectorized pass must fail loudly,
+        naming the kernel, its mode, and the engines that can drive it."""
+
+        class FrontierKernel:
+            mode = "edge_frontier"
+            name = "frontier"
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            VectorCompressionChain(line(6), kernel=FrontierKernel())
+        message = str(excinfo.value)
+        assert "FrontierKernel" in message
+        assert "'edge_frontier'" in message
+        assert "engine='fast'" in message
+        assert "engine='reference'" in message
 
     def test_scalar_engines_reject_mismatched_color_maps(self):
         kernel = SeparationKernel(4.0, 2.0, colors={(0, 0): 0, (9, 9): 1})

@@ -130,6 +130,19 @@ class TestBatchedMoveDrawLanes:
         with pytest.raises(ValueError):
             BatchedMoveDraws(np.random.default_rng(0), n=4).draw2()
 
+    def test_lists2_requires_two_lanes(self):
+        """A single-lane tape must refuse lists2() rather than hand a block
+        consumer an empty lane it would silently run off the end of."""
+        tape = BatchedMoveDraws(np.random.default_rng(0), n=4)
+        tape.refill()
+        with pytest.raises(ValueError, match="lanes=2"):
+            tape.lists2()
+
+    def test_lists2_matches_the_lane_array(self):
+        tape = BatchedMoveDraws(np.random.default_rng(1), n=4, block=8, lanes=2)
+        tape.refill()
+        assert tape.lists2() == tape.uniforms2.tolist()
+
     def test_lane_count_validation(self):
         with pytest.raises(ValueError):
             BatchedMoveDraws(np.random.default_rng(0), n=4, lanes=3)
