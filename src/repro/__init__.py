@@ -70,7 +70,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",

@@ -11,13 +11,39 @@ the same scaling exponent (experiment E10).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.compression import CompressionSimulation
 from repro.errors import AnalysisError
 from repro.rng import RandomState
+
+
+def hitting_time_from_rows(rows: "Iterable", alpha: float) -> Optional[int]:
+    """First recorded iteration whose configuration is alpha-compressed.
+
+    The iterator-based path for on-disk traces: ``rows`` is any stream of
+    trace samples — dicts from
+    :meth:`repro.io.trace_store.TraceStoreReader.iter_rows`, or
+    :class:`~repro.core.compression.TracePoint` objects — scanned in
+    order and abandoned at the first hit, so a 10^8-row store is read
+    only as far as its hitting point and never materialized.  Returns
+    ``None`` when no recorded sample is alpha-compressed (at the
+    recording granularity, exactly like
+    :meth:`~repro.core.compression.CompressionSimulation.run_until_compressed`
+    at its ``check_every`` granularity).
+    """
+    if alpha <= 1:
+        raise AnalysisError(f"alpha must exceed 1, got {alpha}")
+    for row in rows:
+        if isinstance(row, dict):
+            ratio, iteration = row["alpha"], row["iteration"]
+        else:
+            ratio, iteration = row.alpha, row.iteration
+        if ratio <= alpha:
+            return int(iteration)
+    return None
 
 
 def measure_compression_time(

@@ -5,11 +5,19 @@ of reach; these tools provide the numerical counterparts used by the
 reproduction: exact spectral gaps and distances to stationarity for small
 systems (where the full transition matrix is available) and empirical
 state-visit distributions for simulation-level checks of Lemma 3.13.
+
+For trace-level mixing diagnostics on runs too long to hold in memory,
+:func:`streaming_autocorrelation` /
+:func:`streaming_integrated_autocorrelation_time` compute the same
+quantities as their in-memory counterparts in
+:mod:`repro.analysis.statistics` directly over chunked on-disk columns
+(:meth:`repro.io.trace_store.TraceStoreReader.iter_column`), holding at
+most one segment plus a ``max_lag``-sample carry window at a time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +82,90 @@ def mixing_time_upper_estimate(
         if float(distances.max()) < epsilon:
             return step
     raise AnalysisError(f"mixing time exceeds {max_steps} steps")
+
+
+def streaming_autocorrelation(
+    chunks: Callable[[], Iterable[np.ndarray]], max_lag: int
+) -> np.ndarray:
+    """Normalized autocorrelation of a chunked series, without materializing it.
+
+    ``chunks`` is a *callable returning an iterator* of 1-D array chunks
+    (e.g. ``lambda: reader.iter_column("perimeter")`` over a
+    :class:`~repro.io.trace_store.TraceStoreReader`): the series is
+    scanned twice — once for the mean, once for the lagged products with
+    a ``max_lag``-sample carry window across chunk boundaries — so peak
+    memory is one chunk plus the window, independent of series length.
+    Matches :func:`repro.analysis.statistics.autocorrelation` on the
+    concatenated series to floating-point accuracy.
+    """
+    if max_lag < 1:
+        raise AnalysisError("max_lag must be in [1, len(series) - 1]")
+    from repro.analysis.statistics import StreamingMoments
+
+    moments = StreamingMoments()
+    for chunk in chunks():
+        moments.extend(np.asarray(chunk, dtype=float))
+    size = moments.count
+    if size < 2:
+        raise AnalysisError("need at least two samples")
+    if max_lag >= size:
+        raise AnalysisError("max_lag must be in [1, len(series) - 1]")
+    mean = moments.mean
+
+    accumulated = np.zeros(max_lag + 1)
+    carry = np.empty(0)
+    seen = 0
+    for chunk in chunks():
+        data = np.asarray(chunk, dtype=float) - mean
+        m = data.size
+        if m == 0:
+            continue
+        window = carry.size  # == min(seen, max_lag)
+        extended = np.concatenate([carry, data])
+        start_global = seen - window
+        for lag in range(0, max_lag + 1):
+            # Pairs (t, t - lag) whose *later* element lies in this chunk
+            # and whose earlier element is still inside the carry window.
+            first = max(seen, start_global + lag)
+            if first > seen + m - 1:
+                continue
+            i0 = first - start_global
+            accumulated[lag] += float(
+                np.dot(extended[i0 : window + m], extended[i0 - lag : window + m - lag])
+            )
+        carry = extended[-max_lag:]
+        seen += m
+    variance = accumulated[0]
+    if variance == 0:
+        return np.ones(max_lag + 1)
+    return accumulated / variance
+
+
+def streaming_integrated_autocorrelation_time(
+    chunks: Callable[[], Iterable[np.ndarray]], max_lag: int = 100
+) -> float:
+    """Integrated autocorrelation time over a chunked on-disk series.
+
+    The streaming counterpart of
+    :func:`repro.analysis.statistics.integrated_autocorrelation_time`,
+    identical positive-sequence truncation included.  ``max_lag`` is
+    clamped to ``series length - 1`` exactly like the in-memory version.
+    """
+    from repro.analysis.statistics import StreamingMoments
+
+    moments = StreamingMoments()
+    for chunk in chunks():
+        moments.extend(np.asarray(chunk, dtype=float))
+    if moments.count < 2:
+        raise AnalysisError("need at least two samples")
+    max_lag = min(max_lag, moments.count - 1)
+    rho = streaming_autocorrelation(chunks, max_lag)
+    tau = 1.0
+    for lag in range(1, max_lag + 1):
+        if rho[lag] <= 0:
+            break
+        tau += 2.0 * float(rho[lag])
+    return tau
 
 
 def empirical_distribution(

@@ -12,11 +12,20 @@ replica columns to means, standard errors and bootstrap confidence
 intervals.  (The table is duck-typed here — anything with ``column`` and
 ``group_by`` works — so the analysis layer stays import-independent of the
 runtime layer.)
+
+For ensembles too large to hold in memory there is a parallel iterator
+path: :class:`StreamingMoments` (single-pass Welford/Chan accumulation),
+:func:`streaming_ensemble_summary` (same row shape as
+:func:`ensemble_summary` from a stream of ``(group, value)`` pairs), and
+:func:`ensemble_summary_from_stores`, which walks a directory of on-disk
+:mod:`repro.io.trace_store` traces reading only each store's final
+segment — no trace is ever materialized.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -152,3 +161,228 @@ def ensemble_summary(
                 summary["ci_high"] = high
         summaries.append(summary)
     return summaries
+
+
+# ---------------------------------------------------------------------- #
+# Iterator-based paths for on-disk ensembles
+# ---------------------------------------------------------------------- #
+class StreamingMoments:
+    """Single-pass count/mean/variance accumulation (Welford/Chan).
+
+    The constant-memory replacement for ``np.asarray(values).mean()`` when
+    the values come out of an on-disk ensemble: scalars go through
+    :meth:`update`, whole segment arrays through :meth:`extend` (Chan's
+    pairwise merge, so segment-at-a-time accumulation is numerically
+    stable), and the resulting ``mean``/``std_error`` agree with the
+    materialized computation to floating-point accuracy.
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float) -> None:
+        """Fold in one sample."""
+        self.count += 1
+        delta = float(value) - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (float(value) - self.mean)
+
+    def extend(self, values: Union[Sequence[float], np.ndarray]) -> None:
+        """Fold in a batch of samples (one trace-store segment, typically)."""
+        data = np.asarray(values, dtype=float)
+        if data.size == 0:
+            return
+        batch_mean = float(data.mean())
+        batch_m2 = float(((data - batch_mean) ** 2).sum())
+        total = self.count + data.size
+        delta = batch_mean - self.mean
+        self.mean += delta * data.size / total
+        self._m2 += batch_m2 + delta * delta * self.count * data.size / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``ddof=1``); ``nan`` below two samples."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the mean; ``nan`` below two samples."""
+        if self.count < 2:
+            return float("nan")
+        return math.sqrt(self.variance / self.count)
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1e-9 over (0, 1) — far below the statistical noise of any
+    ensemble this is applied to; keeps the streaming summary scipy-free.
+    """
+    if not 0.0 < p < 1.0:
+        raise AnalysisError(f"quantile argument must lie in (0, 1), got {p}")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def streaming_ensemble_summary(
+    items: Iterable[Tuple[Any, Optional[float]]],
+    level: float = 0.95,
+) -> List[Dict[str, Any]]:
+    """Single-pass, constant-memory-per-group analogue of :func:`ensemble_summary`.
+
+    Parameters
+    ----------
+    items:
+        An iterable of ``(group, value)`` pairs — e.g. one pair per
+        on-disk trace store.  ``value=None`` counts as ``missing`` for its
+        group, mirroring the budget-exhausted-hitting-time convention.
+    level:
+        Confidence level of the interval.
+
+    Returns
+    -------
+    The same row shape as :func:`ensemble_summary` (``group``, ``count``,
+    ``missing``, ``mean``, ``std_error``, ``ci_low``/``ci_high``), in
+    first-appearance group order.  The one semantic difference is the
+    interval: bootstrapping requires materializing the sample, so the
+    streaming path reports the normal-approximation interval
+    ``mean ± z * std_error`` instead — equal in the large-ensemble limit
+    this path exists for.
+    """
+    if not 0 < level < 1:
+        raise AnalysisError("level must lie in (0, 1)")
+    moments: Dict[Any, StreamingMoments] = {}
+    missing: Dict[Any, int] = {}
+    for group, value in items:
+        accumulator = moments.get(group)
+        if accumulator is None:
+            accumulator = moments[group] = StreamingMoments()
+            missing[group] = 0
+        if value is None:
+            missing[group] += 1
+        else:
+            accumulator.update(float(value))
+    z = _normal_quantile((1.0 + level) / 2.0)
+    summaries: List[Dict[str, Any]] = []
+    for group, accumulator in moments.items():
+        summary: Dict[str, Any] = {
+            "group": group,
+            "count": accumulator.count,
+            "missing": missing[group],
+            "mean": None,
+            "std_error": None,
+            "ci_low": None,
+            "ci_high": None,
+        }
+        if accumulator.count:
+            summary["mean"] = accumulator.mean
+            if accumulator.count >= 2:
+                se = accumulator.std_error
+                summary["std_error"] = se
+                summary["ci_low"] = accumulator.mean - z * se
+                summary["ci_high"] = accumulator.mean + z * se
+        summaries.append(summary)
+    return summaries
+
+
+def ensemble_summary_from_stores(
+    stores: Any,
+    value: str,
+    by: Optional[str] = None,
+    level: float = 0.95,
+) -> List[Dict[str, Any]]:
+    """Summarize the final recorded ``value`` across on-disk trace stores.
+
+    Runs entirely over :mod:`repro.io.trace_store` readers — only each
+    store's *final segment* of the requested column is read, so an
+    ensemble of 10^8-row traces summarizes in milliseconds without
+    materializing anything.
+
+    Parameters
+    ----------
+    stores:
+        A trace-store ensemble root directory (each job's store a
+        subdirectory, as written by the runtime's ``trace_store=`` jobs),
+        or an iterable of :class:`~repro.io.trace_store.TraceStoreReader`
+        objects / store directories.
+    value:
+        Trace column to summarize at the final recorded row, e.g.
+        ``"alpha"`` or ``"perimeter"``.
+    by:
+        Optional manifest-meta key to group by — the job runners stamp
+        ``"lambda"``, ``"n"``, ``"kind"`` and the full ``"job"``
+        fingerprint into every manifest, and nested job fields are
+        reachable as ``"job.gamma"``-style dotted paths.
+    level:
+        Confidence level for the normal-approximation interval (see
+        :func:`streaming_ensemble_summary`).
+
+    Stores with no committed rows yet (a crashed writer, a run still
+    warming up) are counted as ``missing`` rather than refused, so the
+    summary can run while an ensemble is still being written.
+    """
+    from repro.io.trace_store import TraceStoreReader, iter_trace_stores
+
+    def readers() -> Iterator[Any]:
+        if isinstance(stores, (str,)) or hasattr(stores, "__fspath__"):
+            yield from iter_trace_stores(stores)
+            return
+        for item in stores:
+            yield item if isinstance(item, TraceStoreReader) else TraceStoreReader(item)
+
+    def meta_key(reader: Any) -> Any:
+        if by is None:
+            return None
+        node: Any = reader.meta
+        for part in by.split("."):
+            if not isinstance(node, dict) or part not in node:
+                raise AnalysisError(
+                    f"store {reader.directory} has no meta key {by!r}"
+                )
+            node = node[part]
+        return node
+
+    def items() -> Iterator[Tuple[Any, Optional[float]]]:
+        for reader in readers():
+            group = meta_key(reader)
+            if reader.num_rows == 0:
+                yield group, None
+                continue
+            row = reader.final_row()
+            if value not in row:
+                raise AnalysisError(
+                    f"store {reader.directory} has no column {value!r} "
+                    f"(columns: {reader.column_names})"
+                )
+            yield group, float(row[value])
+
+    return streaming_ensemble_summary(items(), level=level)

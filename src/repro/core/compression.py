@@ -113,6 +113,15 @@ class CompressionSimulation:
         block-vectorized engine (fastest at ``n >= 1000``).  All produce
         the same trajectory for the same seed; see
         :mod:`repro.core.fast_chain` and :mod:`repro.core.vector_chain`.
+    trace_sink:
+        Optional streaming hook: an object with an ``append(point)``
+        method (e.g. :class:`repro.io.trace_store.TraceStoreSink`) that
+        receives every recorded :class:`TracePoint` as it is recorded, at
+        whatever cadence the sink implements.  ``None`` (default) changes
+        nothing: the in-memory trace is maintained either way, and the
+        chain's trajectory never depends on the sink (it consumes no
+        randomness) — streamed runs are byte-identical to in-memory runs,
+        which the lockstep tests pin.
     """
 
     def __init__(
@@ -121,6 +130,7 @@ class CompressionSimulation:
         lam: float,
         seed: RandomState = None,
         engine: str = "reference",
+        trace_sink: Optional[object] = None,
     ) -> None:
         try:
             engine_factory = ENGINES[engine]
@@ -135,6 +145,7 @@ class CompressionSimulation:
         self._pmin = min_perimeter(self.n)
         self._pmax = max_perimeter(self.n)
         self.trace = CompressionTrace(n=self.n, lam=self.lam)
+        self.trace_sink = trace_sink
         self._record()
 
     # ------------------------------------------------------------------ #
@@ -142,10 +153,15 @@ class CompressionSimulation:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_line(
-        cls, n: int, lam: float, seed: RandomState = None, engine: str = "reference"
+        cls,
+        n: int,
+        lam: float,
+        seed: RandomState = None,
+        engine: str = "reference",
+        trace_sink: Optional[object] = None,
     ) -> "CompressionSimulation":
         """The paper's standard experiment: ``n`` particles starting in a line."""
-        return cls(line_shape(n), lam=lam, seed=seed, engine=engine)
+        return cls(line_shape(n), lam=lam, seed=seed, engine=engine, trace_sink=trace_sink)
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -270,3 +286,5 @@ class CompressionSimulation:
             beta=perimeter / self._pmax if self._pmax else 0.0,
         )
         self.trace.points.append(point)
+        if self.trace_sink is not None:
+            self.trace_sink.append(point)

@@ -1,4 +1,11 @@
-"""Serialization of configurations, traces and experiment records."""
+"""Serialization of configurations, traces and experiment records.
+
+Two trace persistence layers live here: whole-document JSON archives
+(:mod:`repro.io.serialization`) for small figures-scale traces, and the
+chunked, append-only, crash-recoverable columnar store
+(:mod:`repro.io.trace_store`) that engines stream into for on-disk
+ensembles.
+"""
 
 from repro.io.serialization import (
     configuration_from_json,
@@ -12,8 +19,26 @@ from repro.io.serialization import (
     trace_from_json,
     trace_to_json,
 )
+from repro.io.trace_store import (
+    DEFAULT_ROWS_PER_SEGMENT,
+    TRACE_COLUMNS,
+    TraceStoreReader,
+    TraceStoreSink,
+    TraceStoreWriter,
+    iter_trace_stores,
+    read_trace,
+    write_trace,
+)
 
 __all__ = [
+    "DEFAULT_ROWS_PER_SEGMENT",
+    "TRACE_COLUMNS",
+    "TraceStoreReader",
+    "TraceStoreSink",
+    "TraceStoreWriter",
+    "iter_trace_stores",
+    "read_trace",
+    "write_trace",
     "configuration_from_json",
     "configuration_to_json",
     "load_configuration",

@@ -103,13 +103,33 @@ def load_configuration(path: PathLike) -> ParticleConfiguration:
 
 
 def trace_to_json(trace: CompressionTrace) -> Dict[str, Any]:
-    """Serialize a compression trace (the data behind Figures 2 and 10)."""
+    """Serialize a compression trace (the data behind Figures 2 and 10).
+
+    Every field is coerced to its plain Python type at write time: engine
+    internals occasionally hand back numpy scalars, and while
+    ``numpy.float64`` happens to be JSON-encodable (it subclasses
+    ``float``), ``numpy.int64`` is not — and a trace that serializes or
+    not depending on which engine produced it would be a reproducibility
+    bug.  Non-finite floats (``nan``/``±inf``) round-trip as the JSON
+    extension tokens ``NaN``/``Infinity`` bit-identically, which the
+    property-based round-trip tests pin.
+    """
     return {
         "format_version": FORMAT_VERSION,
         "kind": "compression_trace",
-        "n": trace.n,
-        "lambda": trace.lam,
-        "points": [asdict(point) for point in trace.points],
+        "n": int(trace.n),
+        "lambda": float(trace.lam),
+        "points": [
+            {
+                "iteration": int(point.iteration),
+                "perimeter": int(point.perimeter),
+                "edges": int(point.edges),
+                "holes": int(point.holes),
+                "alpha": float(point.alpha),
+                "beta": float(point.beta),
+            }
+            for point in trace.points
+        ],
     }
 
 

@@ -59,6 +59,9 @@ def job_to_json(job: Job) -> Dict[str, Any]:
     Distributed-simulator jobs carry a ``job_type: "amoebot"`` tag, the
     extension chains ``"separation"`` / ``"bridging"``; chain jobs stay
     untagged so documents written before the tags existed keep resuming.
+    For the same reason a ``trace_store`` of ``None`` is omitted from the
+    fingerprint: store-less jobs keep the exact payload shape they had
+    before streaming traces existed, so old documents keep resuming.
     """
     try:
         payload = json.loads(json.dumps(asdict(job)))
@@ -67,6 +70,8 @@ def job_to_json(job: Job) -> Dict[str, Any]:
             f"job {job.job_id!r} is not JSON-serializable "
             f"(metadata must be plain JSON types): {exc}"
         ) from exc
+    if payload.get("trace_store") is None:
+        payload.pop("trace_store", None)
     if isinstance(job, AmoebotJob):
         payload["job_type"] = "amoebot"
     elif isinstance(job, SeparationJob):
@@ -124,12 +129,29 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
     field existed lack the key, and :func:`chain_result_from_json` treats
     those (and an explicit ``null``) as empty rather than refusing, so
     old and new documents resume side by side.
+
+    Store-backed results (``result.trace_store_path`` set) embed a
+    ``trace_store_ref`` instead of the inline point list: the trace
+    payload carries only the store directory plus ``n``/``lambda``, and
+    the rows stay on disk in the
+    :mod:`repro.io.trace_store` segment files — which is the whole point
+    for 10^8-iteration runs whose traces must never be materialized into
+    a JSON document.
     """
+    if result.trace_store_path is not None:
+        trace_payload: Dict[str, Any] = {
+            "kind": "trace_store_ref",
+            "path": str(result.trace_store_path),
+            "n": int(result.trace.n),
+            "lambda": float(result.trace.lam),
+        }
+    else:
+        trace_payload = trace_to_json(result.trace)
     return {
         "format_version": FORMAT_VERSION,
         "kind": "chain_result",
         "job": job_to_json(result.job),
-        "trace": trace_to_json(result.trace),
+        "trace": trace_payload,
         "iterations": result.iterations,
         "accepted_moves": result.accepted_moves,
         "rejection_counts": dict(result.rejection_counts),
@@ -139,21 +161,67 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
     }
 
 
+def _reattach_trace_store(trace_payload: Dict[str, Any], job_payload: Dict[str, Any]):
+    """Re-open the on-disk trace a ``trace_store_ref`` document points at.
+
+    Fingerprint refusal happens here, *before* any rows are read: the
+    store manifest embeds the canonical JSON of the job that streamed it,
+    and a manifest whose fingerprint differs from the document's job — a
+    swapped directory, a reseeded rerun, a foreign ensemble's trace — is
+    refused outright rather than silently re-attached.  Incomplete stores
+    (writer never closed) are likewise refused: a checkpoint document is
+    only ever written after the job's sink was closed, so an incomplete
+    manifest means the directory does not hold this document's trace.
+    """
+    from repro.io.trace_store import TraceStoreReader
+
+    path = trace_payload["path"]
+    reader = TraceStoreReader(path)
+    stored_job = reader.meta.get("job")
+    if stored_job != job_payload:
+        raise SerializationError(
+            f"trace store {path} was streamed by a different job specification "
+            f"than this checkpoint document describes; refusing to re-attach a "
+            f"mismatched trace directory"
+        )
+    if not reader.complete:
+        raise SerializationError(
+            f"trace store {path} is incomplete (its writer never closed); "
+            f"refusing to re-attach it to a completed checkpoint document"
+        )
+    return (
+        reader.read_trace(n=int(trace_payload["n"]), lam=float(trace_payload["lambda"])),
+        str(path),
+    )
+
+
 def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
-    """Deserialize a chain result produced by :func:`chain_result_to_json`."""
+    """Deserialize a chain result produced by :func:`chain_result_to_json`.
+
+    Inline traces are rebuilt from the document; ``trace_store_ref``
+    documents re-attach to their on-disk store (fingerprint-checked
+    against the document's job, see :func:`_reattach_trace_store`).
+    """
     try:
         if payload.get("kind") != "chain_result":
             raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
         compression_time = payload["compression_time"]
+        trace_payload = payload["trace"]
+        trace_store_path = None
+        if isinstance(trace_payload, dict) and trace_payload.get("kind") == "trace_store_ref":
+            trace, trace_store_path = _reattach_trace_store(trace_payload, payload["job"])
+        else:
+            trace = trace_from_json(trace_payload)
         return ChainResult(
             job=job_from_json(payload["job"]),
-            trace=trace_from_json(payload["trace"]),
+            trace=trace,
             iterations=int(payload["iterations"]),
             accepted_moves=int(payload["accepted_moves"]),
             rejection_counts={k: int(v) for k, v in payload["rejection_counts"].items()},
             compression_time=None if compression_time is None else int(compression_time),
             wall_seconds=float(payload["wall_seconds"]),
             extra=dict(payload.get("extra") or {}),
+            trace_store_path=trace_store_path,
         )
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise SerializationError(f"malformed chain result payload: {exc}") from exc

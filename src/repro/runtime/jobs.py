@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.compression import (
@@ -56,6 +57,47 @@ _JOB_ID_PATTERN = re.compile(r"^[A-Za-z0-9._\-]+$")
 def _number_label(value: float) -> str:
     """A job-id-safe compact rendering of a number (no ``+`` from ``%g``)."""
     return f"{value:g}".replace("+", "")
+
+
+def _validate_trace_store(trace_store: Any) -> None:
+    """Job-level validation of the optional streaming-trace root directory."""
+    if trace_store is not None and not isinstance(trace_store, (str, Path)):
+        raise ConfigurationError(
+            f"trace_store must be a path string (picklable, serializable), "
+            f"got {type(trace_store).__name__}"
+        )
+
+
+def _open_job_sink(job: "Job", n: int):
+    """Create the streaming trace sink for a job, or ``None`` without one.
+
+    The store lands in ``<job.trace_store>/<job.job_id>`` with the job's
+    canonical JSON fingerprint in the manifest meta — the same fingerprint
+    the checkpoint layer stores, so a resumed ensemble can verify a trace
+    directory belongs to the job it is re-attaching to.
+    """
+    if getattr(job, "trace_store", None) is None:
+        return None
+    from repro.io.trace_store import TraceStoreSink
+    from repro.runtime.checkpoint import job_to_json
+
+    directory = Path(job.trace_store) / job.job_id
+    meta = {
+        "job": job_to_json(job),
+        "job_id": job.job_id,
+        "kind": job.kind,
+        "n": int(n),
+        "lambda": float(job.lam),
+    }
+    return TraceStoreSink(directory, meta=meta)
+
+
+def _finish_job_sink(sink) -> Optional[str]:
+    """Mark a job's stream complete; returns the store path for the result."""
+    if sink is None:
+        return None
+    sink.close()
+    return str(sink.directory)
 
 
 @dataclass(frozen=True)
@@ -96,6 +138,15 @@ class ChainJob:
     metadata:
         Free-form JSON-able annotations (replica index, sweep position,
         ...); flattened into the ensemble results table rows.
+    trace_store:
+        Optional root directory for streaming trace storage.  When set,
+        the worker streams every recorded trace point into a
+        :class:`repro.io.trace_store.TraceStoreWriter` under
+        ``<trace_store>/<job_id>`` (manifest stamped with the job
+        fingerprint), and checkpoint documents reference that directory
+        instead of embedding the trace inline.  ``None`` (default) keeps
+        traces purely in memory, byte-identical to before the field
+        existed.
     """
 
     job_id: str
@@ -111,6 +162,7 @@ class ChainJob:
     max_iterations: Optional[int] = None
     check_every: int = 2000
     metadata: Dict[str, Any] = field(default_factory=dict)
+    trace_store: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not _JOB_ID_PATTERN.match(self.job_id):
@@ -133,6 +185,7 @@ class ChainJob:
                 f"job seeds must be plain integers (picklable, serializable), "
                 f"got {type(self.seed).__name__}"
             )
+        _validate_trace_store(self.trace_store)
         if self.kind == "trace":
             if self.iterations < 0:
                 raise ConfigurationError(
@@ -171,6 +224,9 @@ class ChainResult:
     wall_seconds: float = 0.0
     from_checkpoint: bool = False
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Directory of the streamed on-disk trace for store-backed jobs
+    #: (``job.trace_store`` set); ``None`` for purely in-memory results.
+    trace_store_path: Optional[str] = None
 
     def final_point(self):
         """The last recorded trace sample."""
@@ -221,8 +277,10 @@ def run_job(job: ChainJob) -> ChainResult:
     included), so serial and multiprocessing execution agree exactly.
     """
     started = time.perf_counter()
+    initial = job.build_initial()
+    sink = _open_job_sink(job, initial.n)
     simulation = CompressionSimulation(
-        job.build_initial(), lam=job.lam, seed=job.seed, engine=job.engine
+        initial, lam=job.lam, seed=job.seed, engine=job.engine, trace_sink=sink
     )
     compression_time: Optional[int] = None
     if job.kind == "trace":
@@ -242,6 +300,7 @@ def run_job(job: ChainJob) -> ChainResult:
         rejection_counts=chain.rejection_counts,
         compression_time=compression_time,
         wall_seconds=time.perf_counter() - started,
+        trace_store_path=_finish_job_sink(sink),
     )
 
 
@@ -300,6 +359,7 @@ class AmoebotJob:
     rates: Optional[Tuple[Tuple[int, float], ...]] = None
     kind: str = AMOEBOT_JOB_KIND
     metadata: Dict[str, Any] = field(default_factory=dict)
+    trace_store: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.amoebot import AMOEBOT_ENGINES
@@ -333,6 +393,7 @@ class AmoebotJob:
             raise ConfigurationError(
                 f"record_every must be positive, got {self.record_every}"
             )
+        _validate_trace_store(self.trace_store)
 
     def build_initial(self) -> ParticleConfiguration:
         """Materialize the starting configuration described by the job."""
@@ -364,20 +425,22 @@ def run_amoebot_job(job: AmoebotJob) -> ChainResult:
     pmin = min_perimeter(n)
     pmax = max_perimeter(n)
     trace = CompressionTrace(n=n, lam=job.lam)
+    sink = _open_job_sink(job, n)
 
     def record() -> None:
         configuration = system.configuration
         perimeter = system.perimeter()
-        trace.points.append(
-            TracePoint(
-                iteration=system.stats.activations,
-                perimeter=perimeter,
-                edges=configuration.edge_count,
-                holes=len(configuration.holes),
-                alpha=perimeter / pmin if pmin else 1.0,
-                beta=perimeter / pmax if pmax else 0.0,
-            )
+        point = TracePoint(
+            iteration=system.stats.activations,
+            perimeter=perimeter,
+            edges=configuration.edge_count,
+            holes=len(configuration.holes),
+            alpha=perimeter / pmin if pmin else 1.0,
+            beta=perimeter / pmax if pmax else 0.0,
         )
+        trace.points.append(point)
+        if sink is not None:
+            sink.append(point)
 
     record()
     interval = job.record_every or max(1, job.activations // 100)
@@ -400,6 +463,7 @@ def run_amoebot_job(job: AmoebotJob) -> ChainResult:
         },
         compression_time=None,
         wall_seconds=time.perf_counter() - started,
+        trace_store_path=_finish_job_sink(sink),
     )
 
 
@@ -451,6 +515,7 @@ class SeparationJob:
     record_every: Optional[int] = None
     kind: str = SEPARATION_JOB_KIND
     metadata: Dict[str, Any] = field(default_factory=dict)
+    trace_store: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.algorithms.separation import SEPARATION_ENGINES
@@ -484,6 +549,7 @@ class SeparationJob:
             raise ConfigurationError(
                 f"iterations must be non-negative, got {self.iterations}"
             )
+        _validate_trace_store(self.trace_store)
 
     def build_initial(self):
         """Materialize the colored starting configuration.
@@ -524,7 +590,10 @@ def run_separation_job(job: SeparationJob) -> ChainResult:
         engine=job.engine,
     )
     initial_homogeneous = colored.homogeneous_edges()
-    trace = _trace_extension_chain(chain.chain, job.iterations, job.record_every, job.lam)
+    sink = _open_job_sink(job, chain.chain.n)
+    trace = _trace_extension_chain(
+        chain.chain, job.iterations, job.record_every, job.lam, sink=sink
+    )
     state = chain.state
     return ChainResult(
         job=job,
@@ -540,6 +609,7 @@ def run_separation_job(job: SeparationJob) -> ChainResult:
             "final_homogeneous_edges": state.homogeneous_edges(),
             "final_heterogeneous_edges": state.heterogeneous_edges(),
         },
+        trace_store_path=_finish_job_sink(sink),
     )
 
 
@@ -567,6 +637,7 @@ class BridgingJob:
     record_every: Optional[int] = None
     kind: str = BRIDGING_JOB_KIND
     metadata: Dict[str, Any] = field(default_factory=dict)
+    trace_store: Optional[str] = None
 
     def __post_init__(self) -> None:
         from repro.algorithms.shortcut_bridging import BRIDGING_ENGINES
@@ -600,6 +671,7 @@ class BridgingJob:
             raise ConfigurationError(
                 f"iterations must be non-negative, got {self.iterations}"
             )
+        _validate_trace_store(self.trace_store)
 
     def build_terrain(self):
         """Materialize the V-shaped terrain described by the job."""
@@ -621,7 +693,10 @@ def run_bridging_job(job: BridgingJob) -> ChainResult:
     chain = BridgingMarkovChain(
         initial, terrain, lam=job.lam, gamma=job.gamma, seed=job.seed, engine=job.engine
     )
-    trace = _trace_extension_chain(chain.chain, job.iterations, job.record_every, job.lam)
+    sink = _open_job_sink(job, chain.chain.n)
+    trace = _trace_extension_chain(
+        chain.chain, job.iterations, job.record_every, job.lam, sink=sink
+    )
     path_length = chain.anchor_path_length()
     return ChainResult(
         job=job,
@@ -635,15 +710,25 @@ def run_bridging_job(job: BridgingJob) -> ChainResult:
             "final_gap_occupancy": chain.gap_occupancy(),
             "final_anchor_path_length": path_length,
         },
+        trace_store_path=_finish_job_sink(sink),
     )
 
 
-def _trace_extension_chain(engine, iterations: int, record_every: Optional[int], lam: float) -> CompressionTrace:
+def _trace_extension_chain(
+    engine,
+    iterations: int,
+    record_every: Optional[int],
+    lam: float,
+    sink=None,
+) -> CompressionTrace:
     """Run an engine for ``iterations``, sampling the standard trace metrics.
 
     The engines maintain perimeter/edge/hole counters for every kernel, so
     extension-chain traces reuse :class:`CompressionTrace` — and with it
     the whole results-table / checkpoint / statistics stack — unchanged.
+    Recorded points are additionally streamed into ``sink`` when given
+    (see :func:`_open_job_sink`); the sink consumes no randomness, so
+    streamed and in-memory runs stay bit-identical.
     """
     n = engine.n
     pmin = min_perimeter(n)
@@ -652,16 +737,17 @@ def _trace_extension_chain(engine, iterations: int, record_every: Optional[int],
 
     def record() -> None:
         perimeter = engine.perimeter()
-        trace.points.append(
-            TracePoint(
-                iteration=engine.iterations,
-                perimeter=perimeter,
-                edges=engine.edge_count,
-                holes=engine.hole_count(),
-                alpha=perimeter / pmin if pmin else 1.0,
-                beta=perimeter / pmax if pmax else 0.0,
-            )
+        point = TracePoint(
+            iteration=engine.iterations,
+            perimeter=perimeter,
+            edges=engine.edge_count,
+            holes=engine.hole_count(),
+            alpha=perimeter / pmin if pmin else 1.0,
+            beta=perimeter / pmax if pmax else 0.0,
         )
+        trace.points.append(point)
+        if sink is not None:
+            sink.append(point)
 
     record()
     interval = record_every or max(1, iterations // 100)

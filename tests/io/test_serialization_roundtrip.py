@@ -1,0 +1,186 @@
+"""Property-based round-trip tests for :mod:`repro.io.serialization`.
+
+The JSON archive layer must round-trip *anything* the engines can hand
+it: numpy scalars (``numpy.int64`` is not JSON-encodable; the layer
+coerces at write time), non-finite floats (``NaN``/``±Infinity`` ride
+the JSON extension tokens), empty and single-point traces — and a
+save → load → save cycle must be byte-identical, because checkpoint
+fingerprints compare serialized payloads for equality.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compression import CompressionTrace, TracePoint
+from repro.io.serialization import (
+    configuration_from_json,
+    configuration_to_json,
+    load_json,
+    save_json,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.shapes import line, random_connected
+
+
+def floats_identical(a, b):
+    """Bit-level float identity: NaN == NaN, +0.0 distinguished from -0.0 not required."""
+    return np.array_equal(np.array([a]), np.array([b]), equal_nan=True)
+
+
+def traces_identical(a, b):
+    if (a.n, a.lam, len(a.points)) != (b.n, b.lam, len(b.points)):
+        return False
+    for x, y in zip(a.points, b.points):
+        if (x.iteration, x.perimeter, x.edges, x.holes) != (
+            y.iteration,
+            y.perimeter,
+            y.edges,
+            y.holes,
+        ):
+            return False
+        if not (floats_identical(x.alpha, y.alpha) and floats_identical(x.beta, y.beta)):
+            return False
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Deterministic edge cases
+# --------------------------------------------------------------------- #
+def test_empty_trace_round_trip():
+    trace = CompressionTrace(n=5, lam=2.0)
+    assert traces_identical(trace_from_json(trace_to_json(trace)), trace)
+
+
+def test_single_point_trace_round_trip():
+    trace = CompressionTrace(n=5, lam=2.0)
+    trace.points.append(TracePoint(0, 12, 4, 0, 1.5, 0.5))
+    assert traces_identical(trace_from_json(trace_to_json(trace)), trace)
+
+
+def test_numpy_scalars_serialize(tmp_path):
+    """Engine internals may leak numpy scalars into a trace; the archive
+    layer must coerce them (``np.int64`` would otherwise refuse to dump)."""
+    trace = CompressionTrace(n=np.int64(5), lam=np.float64(2.0))
+    trace.points.append(
+        TracePoint(
+            iteration=np.int64(3),
+            perimeter=np.int64(12),
+            edges=np.int32(4),
+            holes=np.int64(0),
+            alpha=np.float64(1.5),
+            beta=np.float32(0.5),
+        )
+    )
+    payload = trace_to_json(trace)
+    text = json.dumps(payload)  # must not raise
+    loaded = trace_from_json(json.loads(text))
+    assert loaded.points[0].iteration == 3
+    assert isinstance(loaded.points[0].iteration, int)
+    save_json(payload, tmp_path / "t.json")
+    assert traces_identical(trace_from_json(load_json(tmp_path / "t.json")), loaded)
+
+
+def test_non_finite_floats_round_trip(tmp_path):
+    trace = CompressionTrace(n=3, lam=1.0)
+    for value in (float("nan"), float("inf"), float("-inf"), 0.0, -0.0):
+        trace.points.append(TracePoint(0, 1, 1, 0, value, value))
+    path = save_json(trace_to_json(trace), tmp_path / "t.json")
+    loaded = trace_from_json(load_json(path))
+    assert traces_identical(loaded, trace)
+
+
+def test_save_load_save_byte_identical(tmp_path):
+    trace = CompressionTrace(n=7, lam=3.5)
+    for i in range(11):
+        trace.points.append(
+            TracePoint(i, 20 - i, 10 + i, i % 2, 1.0 + i / 7.0, float("nan"))
+        )
+    first = save_json(trace_to_json(trace), tmp_path / "a.json")
+    reloaded = trace_from_json(load_json(first))
+    second = save_json(trace_to_json(reloaded), tmp_path / "b.json")
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_configuration_round_trip_line_and_random():
+    for configuration in (line(1), line(9), random_connected(17, seed=3)):
+        payload = configuration_to_json(configuration)
+        assert configuration_from_json(json.loads(json.dumps(payload))) == configuration
+
+
+# --------------------------------------------------------------------- #
+# Property-based (hypothesis is a local-dev extra; CI skips)
+# --------------------------------------------------------------------- #
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+any_float = st.floats(allow_nan=True, allow_infinity=True, width=64)
+any_int = st.integers(min_value=-(2**53), max_value=2**53)  # JSON-exact range
+point_strategy = st.builds(
+    TracePoint,
+    iteration=any_int,
+    perimeter=any_int,
+    edges=any_int,
+    holes=any_int,
+    alpha=any_float,
+    beta=any_float,
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(min_value=1, max_value=10**6),
+    lam=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+    points=st.lists(point_strategy, max_size=20),
+)
+def test_trace_json_round_trip_property(n, lam, points):
+    trace = CompressionTrace(n=n, lam=lam)
+    trace.points.extend(points)
+    # In-memory round trip is lossless...
+    once = trace_from_json(trace_to_json(trace))
+    assert traces_identical(once, trace)
+    # ...and so is the text form, twice over (fixed point after one cycle).
+    text_a = json.dumps(trace_to_json(once), indent=2)
+    text_b = json.dumps(trace_to_json(trace_from_json(json.loads(text_a))), indent=2)
+    assert text_a == text_b
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nodes=st.sets(
+        st.tuples(
+            st.integers(min_value=-50, max_value=50),
+            st.integers(min_value=-50, max_value=50),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_configuration_json_round_trip_property(nodes):
+    # Grow a connected configuration from the candidate node set: start
+    # anywhere and keep only nodes adjacent to what's already kept.
+    pending = set(nodes)
+    start = pending.pop()
+    kept = {start}
+    changed = True
+    while changed:
+        changed = False
+        for node in list(pending):
+            x, y = node
+            neighbors = {
+                (x + 1, y), (x - 1, y), (x, y + 1),
+                (x, y - 1), (x + 1, y - 1), (x - 1, y + 1),
+            }
+            if neighbors & kept:
+                kept.add(node)
+                pending.discard(node)
+                changed = True
+    configuration = ParticleConfiguration(tuple(kept))
+    payload = json.loads(json.dumps(configuration_to_json(configuration)))
+    assert configuration_from_json(payload) == configuration
