@@ -19,7 +19,8 @@ The package provides:
   experiment harness;
 * :mod:`repro.runtime` — the parallel ensemble runner: lambda sweeps,
   n-scaling studies and replica ensembles over worker processes, with
-  bit-identical-to-serial results and checkpoint/resume;
+  bit-identical-to-serial results, checkpoint/resume, and supervised
+  fault-tolerant execution (retries, timeouts, quarantine);
 * :mod:`repro.viz` and :mod:`repro.io` — dependency-free rendering and
   JSON serialization.
 
@@ -70,7 +71,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",

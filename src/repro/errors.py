@@ -41,3 +41,72 @@ class AnalysisError(ReproError):
 
 class SerializationError(ReproError):
     """Raised on malformed serialized payloads."""
+
+
+class JobError(ReproError):
+    """Base class for per-job execution failures inside an ensemble.
+
+    Every subclass must survive a pickle round-trip (pinned by
+    ``tests/runtime/test_errors_taxonomy.py``): job errors are created on
+    whichever side of a process boundary observed the failure and may be
+    re-raised on the other.
+    """
+
+
+class JobTimeout(JobError):
+    """A job's attempt exceeded its supervisor-enforced wall-clock timeout."""
+
+    def __init__(self, job_id: str, timeout_seconds: float) -> None:
+        super().__init__(
+            f"job {job_id!r} exceeded its {timeout_seconds:g}s wall-clock timeout"
+        )
+        self.job_id = job_id
+        self.timeout_seconds = timeout_seconds
+
+    def __reduce__(self):
+        return (type(self), (self.job_id, self.timeout_seconds))
+
+
+class WorkerCrashed(JobError):
+    """The worker process executing a job died without reporting a result.
+
+    Covers hard deaths the job's own code never sees: ``os._exit``, OOM
+    kills, segfaults, ``kill -9``.  ``exitcode`` is the worker's exit
+    status when the supervisor could observe one (negative for signals,
+    following :attr:`multiprocessing.Process.exitcode`), else ``None``.
+    """
+
+    def __init__(self, job_id: str, exitcode=None) -> None:
+        detail = "" if exitcode is None else f" (exitcode {exitcode})"
+        super().__init__(
+            f"worker process died while executing job {job_id!r}{detail}"
+        )
+        self.job_id = job_id
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (type(self), (self.job_id, self.exitcode))
+
+
+class EnsembleAborted(ReproError):
+    """An ensemble run stopped before completing every job.
+
+    Raised by :meth:`repro.runtime.runner.EnsembleRunner.run` under
+    ``failure_policy="raise"`` (and for any infrastructure error escaping
+    the execution loop).  The already-completed work is not lost:
+    ``partial`` carries an :class:`~repro.runtime.runner.EnsembleResult`
+    with every result finished before the abort, and ``failures`` the
+    structured :class:`~repro.runtime.supervision.JobFailure` records.
+    Both attributes live only on the raising side; what pickles across a
+    process boundary is the message (``partial``/``failures`` reset to
+    their empty defaults on unpickle — completed results are already
+    persisted via the checkpoint, not the exception).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.partial = None
+        self.failures = []
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "",))

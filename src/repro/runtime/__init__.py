@@ -12,7 +12,12 @@ boundary, replica ensembles for mixing estimates, and n-scaling studies:
 * :mod:`repro.runtime.results` — the shared per-chain results table
   consumed by :mod:`repro.analysis.statistics`;
 * :mod:`repro.runtime.checkpoint` — atomic per-job persistence so long
-  ensembles survive interruption and resume exactly.
+  ensembles survive interruption and resume exactly;
+* :mod:`repro.runtime.supervision` — fault-tolerant execution: supervised
+  worker processes with heartbeats and dead-worker replacement, retry
+  policies (backoff, deterministic jitter, supervisor-enforced timeouts),
+  quarantined :class:`~repro.runtime.supervision.JobFailure` records, and
+  the runner-level fault-injection harness.
 
 Quickstart::
 
@@ -47,10 +52,23 @@ from repro.runtime.jobs import (
     separation_replica_jobs,
 )
 from repro.runtime.results import ResultsTable
+from repro.runtime.supervision import (
+    FAILURE_POLICIES,
+    FAULT_ACTIONS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    JobFailure,
+    RetryPolicy,
+    SupervisedPool,
+    run_supervised_serial,
+)
 from repro.runtime.checkpoint import (
     EnsembleCheckpoint,
     chain_result_from_json,
     chain_result_to_json,
+    job_failure_from_json,
+    job_failure_to_json,
     job_from_json,
     job_to_json,
 )
@@ -66,8 +84,19 @@ from repro.runtime.runner import (
 __all__ = [
     "AMOEBOT_JOB_KIND",
     "BRIDGING_JOB_KIND",
+    "FAILURE_POLICIES",
+    "FAULT_ACTIONS",
     "JOB_KINDS",
     "SEPARATION_JOB_KIND",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "JobFailure",
+    "RetryPolicy",
+    "SupervisedPool",
+    "run_supervised_serial",
+    "job_failure_from_json",
+    "job_failure_to_json",
     "AmoebotJob",
     "BridgingJob",
     "ChainJob",

@@ -130,6 +130,12 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
     those (and an explicit ``null``) as empty rather than refusing, so
     old and new documents resume side by side.
 
+    Documents carry ``status: "ok"`` and the supervisor's ``attempts``
+    count; documents from before those fields existed read back as
+    ``status="ok"`` / ``attempts=1`` (the only thing a pre-supervision
+    runner could have persisted was a single-attempt success), so old
+    checkpoint directories keep resuming unchanged.
+
     Store-backed results (``result.trace_store_path`` set) embed a
     ``trace_store_ref`` instead of the inline point list: the trace
     payload carries only the store directory plus ``n``/``lambda``, and
@@ -150,6 +156,7 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
     return {
         "format_version": FORMAT_VERSION,
         "kind": "chain_result",
+        "status": "ok",
         "job": job_to_json(result.job),
         "trace": trace_payload,
         "iterations": result.iterations,
@@ -157,6 +164,7 @@ def chain_result_to_json(result: ChainResult) -> Dict[str, Any]:
         "rejection_counts": dict(result.rejection_counts),
         "compression_time": result.compression_time,
         "wall_seconds": result.wall_seconds,
+        "attempts": result.attempts,
         "extra": {key: _plain(value) for key, value in result.extra.items()},
     }
 
@@ -222,13 +230,63 @@ def chain_result_from_json(payload: Dict[str, Any]) -> ChainResult:
             wall_seconds=float(payload["wall_seconds"]),
             extra=dict(payload.get("extra") or {}),
             trace_store_path=trace_store_path,
+            attempts=int(payload.get("attempts", 1)),
         )
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise SerializationError(f"malformed chain result payload: {exc}") from exc
 
 
+def job_failure_to_json(failure) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.runtime.supervision.JobFailure` document.
+
+    Failure documents share the checkpoint directory (and the
+    ``<job_id>.json`` naming) with results: a quarantined job's slot holds
+    its failure record until a retry succeeds and
+    :meth:`EnsembleCheckpoint.store` overwrites it with the result.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "job_failure",
+        "status": "failed",
+        "job": job_to_json(failure.job),
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "traceback": failure.traceback,
+        "attempts": failure.attempts,
+        "wall_seconds": failure.wall_seconds,
+        "attempt_errors": list(failure.attempt_errors),
+    }
+
+
+def job_failure_from_json(payload: Dict[str, Any]):
+    """Deserialize a failure document written by :func:`job_failure_to_json`."""
+    from repro.runtime.supervision import JobFailure
+
+    try:
+        if payload.get("kind") != "job_failure":
+            raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
+        return JobFailure(
+            job=job_from_json(payload["job"]),
+            error_type=str(payload["error_type"]),
+            message=str(payload["message"]),
+            traceback=str(payload["traceback"]),
+            attempts=int(payload["attempts"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            attempt_errors=list(payload.get("attempt_errors") or []),
+        )
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        raise SerializationError(f"malformed job failure payload: {exc}") from exc
+
+
 class EnsembleCheckpoint:
-    """Persist completed ensemble jobs in a directory, one JSON file per job."""
+    """Persist completed ensemble jobs in a directory, one JSON file per job.
+
+    Documents come in two kinds: ``chain_result`` (a success — loaded on
+    resume instead of re-running) and ``job_failure`` (a quarantined
+    job — fingerprint-validated like any document, but treated as *not
+    completed* so a resumed run retries exactly the quarantined jobs and
+    overwrites the failure document on success).
+    """
 
     def __init__(self, directory: PathLike) -> None:
         self.directory = Path(directory)
@@ -239,11 +297,19 @@ class EnsembleCheckpoint:
         return self.directory / f"{job_id}.json"
 
     def store(self, result: ChainResult) -> Path:
-        """Atomically persist one completed job."""
+        """Atomically persist one completed job (overwriting any failure doc)."""
         return save_json(chain_result_to_json(result), self.path_for(result.job.job_id))
+
+    def store_failure(self, failure) -> Path:
+        """Atomically persist one quarantined job's failure record."""
+        return save_json(job_failure_to_json(failure), self.path_for(failure.job.job_id))
 
     def load(self, job: ChainJob) -> Optional[ChainResult]:
         """Load the stored result for ``job``, or ``None`` if not yet completed.
+
+        A ``job_failure`` document counts as not completed — the job will
+        be retried — but its fingerprint is still validated, so a foreign
+        directory is refused before any retry runs.
 
         Raises :class:`SerializationError` when a document exists but was
         produced by a *different* job with the same id — the signature of a
@@ -253,15 +319,50 @@ class EnsembleCheckpoint:
         if not path.exists():
             return None
         payload = load_json(path)
-        result = chain_result_from_json(payload)
         if payload["job"] != job_to_json(job):
             raise SerializationError(
                 f"checkpoint entry {path} was produced by a different job "
                 f"specification than the one submitted; refusing to resume "
                 f"from a stale checkpoint (delete the directory to start over)"
             )
+        if payload.get("kind") == "job_failure":
+            return None
+        result = chain_result_from_json(payload)
         result.from_checkpoint = True
         return result
+
+    def load_failure(self, job: ChainJob):
+        """The quarantined-failure record for ``job``, or ``None``.
+
+        Fingerprint-validated like :meth:`load`; a ``chain_result``
+        document (the job later succeeded) reads as ``None``.
+        """
+        path = self.path_for(job.job_id)
+        if not path.exists():
+            return None
+        payload = load_json(path)
+        if payload.get("kind") != "job_failure":
+            return None
+        failure = job_failure_from_json(payload)
+        if payload["job"] != job_to_json(job):
+            raise SerializationError(
+                f"checkpoint entry {path} was produced by a different job "
+                f"specification than the one submitted; refusing to resume "
+                f"from a stale checkpoint (delete the directory to start over)"
+            )
+        return failure
+
+    def quarantined_ids(self) -> List[str]:
+        """Ids of all jobs whose stored document is a failure record, sorted."""
+        ids = []
+        for path in self.directory.glob("*.json"):
+            try:
+                payload = load_json(path)
+            except SerializationError:  # pragma: no cover - foreign files
+                continue
+            if isinstance(payload, dict) and payload.get("kind") == "job_failure":
+                ids.append(path.stem)
+        return sorted(ids)
 
     def load_completed(self, jobs: Sequence[ChainJob]) -> Dict[str, ChainResult]:
         """Load every already-completed job of an ensemble, keyed by job id."""

@@ -227,6 +227,10 @@ class ChainResult:
     #: Directory of the streamed on-disk trace for store-backed jobs
     #: (``job.trace_store`` set); ``None`` for purely in-memory results.
     trace_store_path: Optional[str] = None
+    #: How many executions this result took: ``1`` everywhere except under
+    #: a retrying supervisor, where earlier attempts failed.  Bookkeeping
+    #: like ``wall_seconds`` — never part of the deterministic payload.
+    attempts: int = 1
 
     def final_point(self):
         """The last recorded trace sample."""
@@ -262,6 +266,8 @@ class ChainResult:
             "final_beta": final.beta,
             "compression_time": self.compression_time,
             "wall_seconds": self.wall_seconds,
+            "status": "ok",
+            "attempts": self.attempts,
         }
         row.update(self.extra)
         for key, value in job.metadata.items():

@@ -7,6 +7,12 @@ helpers in :mod:`repro.analysis.statistics` — in particular
 :func:`~repro.analysis.statistics.ensemble_summary`, which turns replica
 columns into means, standard errors and bootstrap confidence intervals.
 
+Every row carries a ``status`` column (``"ok"`` for completed chains,
+``"failed"`` for quarantined :class:`~repro.runtime.supervision.JobFailure`
+rows) and an ``attempts`` column, so fault-tolerant ensembles analyze
+their successes and audit their failures from the same table — the
+:meth:`ResultsTable.ok` / :meth:`ResultsTable.failed` views split them.
+
 Row order follows job submission order regardless of which worker finished
 first, so two runs of the same ensemble produce byte-identical tables.
 """
@@ -81,6 +87,14 @@ class ResultsTable:
             for row in self.rows
             if all(row.get(key) == value for key, value in equalities.items())
         )
+
+    def ok(self) -> "ResultsTable":
+        """Rows of successfully completed chains (``status == "ok"``)."""
+        return self.where(status="ok")
+
+    def failed(self) -> "ResultsTable":
+        """Rows of quarantined job failures (``status == "failed"``)."""
+        return self.where(status="failed")
 
     def group_by(self, key: str) -> Dict[Any, "ResultsTable"]:
         """Partition the table by a column, preserving row order within groups."""

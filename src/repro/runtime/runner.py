@@ -17,6 +17,16 @@ pool.  Three properties define the design:
 * **Resumability.**  With a checkpoint directory, already-completed jobs
   are loaded (after fingerprint validation) instead of re-run, so a killed
   lambda sweep continues where it left off.
+* **Fault tolerance.**  With a :class:`~repro.runtime.supervision.RetryPolicy`
+  and/or ``failure_policy="quarantine"``, execution moves onto the
+  :class:`~repro.runtime.supervision.SupervisedPool`: failing attempts are
+  retried with deterministic backoff, stalled jobs are killed at their
+  timeout, dead workers are replaced, and jobs that exhaust their attempts
+  become structured :class:`~repro.runtime.supervision.JobFailure` records
+  in :attr:`EnsembleResult.failures` instead of aborting the ensemble.
+  Under the default ``failure_policy="raise"`` a failure aborts the run
+  with :class:`~repro.errors.EnsembleAborted` — which carries the partial
+  :class:`EnsembleResult` of everything that did complete.
 
 The module-level helpers :func:`run_ensemble` (and the job builders in
 :mod:`repro.runtime.jobs`) are the intended user surface; analysis-layer
@@ -33,10 +43,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, EnsembleAborted
 from repro.runtime.checkpoint import EnsembleCheckpoint, PathLike
 from repro.runtime.jobs import ChainResult, Job, execute_job
 from repro.runtime.results import ResultsTable
+from repro.runtime.supervision import (
+    FaultPlan,
+    JobFailure,
+    RetryPolicy,
+    SupervisedPool,
+    run_supervised_serial,
+    validate_failure_policy,
+)
 
 
 def usable_cores() -> int:
@@ -82,11 +100,20 @@ class EnsembleProgress:
     job_id: str
     elapsed_seconds: float
     eta_seconds: Optional[float]
+    #: Jobs resolved as quarantined failures so far (always 0 outside
+    #: ``failure_policy="quarantine"``).
+    failed: int = 0
 
 
 @dataclass
 class EnsembleResult:
-    """Everything an ensemble run produced, in submission order."""
+    """Everything an ensemble run produced, in submission order.
+
+    ``results`` holds the successful chains; under
+    ``failure_policy="quarantine"`` the jobs that exhausted their attempts
+    appear in ``failures`` instead (both in submission order, and both
+    flattened into ``table`` with ``status``/``attempts`` columns).
+    """
 
     jobs: List[Job]
     results: List[ChainResult]
@@ -94,6 +121,7 @@ class EnsembleResult:
     wall_seconds: float
     loaded_from_checkpoint: int = 0
     table: ResultsTable = field(default_factory=ResultsTable)
+    failures: List[JobFailure] = field(default_factory=list)
 
     def result_for(self, job_id: str) -> ChainResult:
         """Look up one chain's result by job id."""
@@ -102,9 +130,21 @@ class EnsembleResult:
                 return result
         raise KeyError(job_id)
 
+    def failure_for(self, job_id: str) -> JobFailure:
+        """Look up one quarantined job's failure record by job id."""
+        for failure in self.failures:
+            if failure.job.job_id == job_id:
+                return failure
+        raise KeyError(job_id)
+
+    @property
+    def failed_ids(self) -> List[str]:
+        """Ids of the quarantined jobs, in submission order."""
+        return [failure.job.job_id for failure in self.failures]
+
     @property
     def executed(self) -> int:
-        """How many jobs actually ran (as opposed to resuming from checkpoint)."""
+        """How many jobs ran to completion (as opposed to resuming from checkpoint)."""
         return len(self.results) - self.loaded_from_checkpoint
 
 
@@ -124,6 +164,23 @@ class EnsembleRunner:
         Optional ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); defaults to the platform default.  Results are
         identical under any of them — that is the point of the design.
+    retry:
+        Optional :class:`~repro.runtime.supervision.RetryPolicy`.  Setting
+        it (or ``fault_plan``, or a non-default ``failure_policy``) routes
+        execution through the supervised layer.  A policy with
+        ``timeout_seconds`` always runs on worker processes — with
+        ``workers=1`` a single supervised worker — because preempting a
+        stalled job requires process isolation.
+    failure_policy:
+        ``"raise"`` (default): a job exhausting its attempts aborts the
+        run with :class:`~repro.errors.EnsembleAborted` carrying the
+        partial result.  ``"quarantine"``: the run completes, failed jobs
+        become :class:`~repro.runtime.supervision.JobFailure` records in
+        :attr:`EnsembleResult.failures` (persisted to the checkpoint, so
+        resuming retries exactly those jobs).
+    fault_plan:
+        Optional :class:`~repro.runtime.supervision.FaultPlan` injected
+        into workers — the runner-level fault-injection harness.
     """
 
     def __init__(
@@ -131,11 +188,17 @@ class EnsembleRunner:
         workers: int = 1,
         checkpoint: Optional[Union[PathLike, EnsembleCheckpoint]] = None,
         start_method: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+        failure_policy: str = "raise",
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be at least 1, got {workers}")
         self.workers = workers
         self.start_method = start_method
+        self.retry = retry
+        self.failure_policy = validate_failure_policy(failure_policy)
+        self.fault_plan = fault_plan
         if checkpoint is None or isinstance(checkpoint, EnsembleCheckpoint):
             self.checkpoint = checkpoint
         else:
@@ -149,14 +212,22 @@ class EnsembleRunner:
         jobs: Sequence[Job],
         on_result: Optional[Callable[[ChainResult], None]] = None,
         on_progress: Optional[Callable[[EnsembleProgress], None]] = None,
+        on_failure: Optional[Callable[[JobFailure], None]] = None,
     ) -> EnsembleResult:
         """Run an ensemble to completion and return ordered results.
 
         ``on_result`` is called once per job as its result becomes
         available (completion order, not submission order) — including for
-        results restored from the checkpoint.  ``on_progress`` is called
-        at the same cadence with an :class:`EnsembleProgress` carrying
-        completed/total counts and an ETA estimate.
+        results restored from the checkpoint.  ``on_failure`` is called
+        once per quarantined job.  ``on_progress`` is called at the same
+        cadence with an :class:`EnsembleProgress` carrying
+        completed/total/failed counts and an ETA estimate.
+
+        If execution cannot finish — a job fails under
+        ``failure_policy="raise"``, or the worker infrastructure itself
+        errors — the raised :class:`~repro.errors.EnsembleAborted` carries
+        everything that *did* complete as ``.partial`` (an
+        :class:`EnsembleResult`); completed work is never silently lost.
         """
         jobs = list(jobs)
         seen: Dict[str, Job] = {}
@@ -169,14 +240,22 @@ class EnsembleRunner:
         total = len(jobs)
         completed = 0
         executed = 0
+        failed = 0
 
-        def report(result: ChainResult) -> None:
-            nonlocal completed, executed
+        def report(outcome: Union[ChainResult, JobFailure]) -> None:
+            nonlocal completed, executed, failed
             completed += 1
-            if not result.from_checkpoint:
-                executed += 1
-            if on_result is not None:
-                on_result(result)
+            is_failure = isinstance(outcome, JobFailure)
+            if is_failure:
+                failed += 1
+                executed += 1  # the attempts ran; they count as work done
+                if on_failure is not None:
+                    on_failure(outcome)
+            else:
+                if not outcome.from_checkpoint:
+                    executed += 1
+                if on_result is not None:
+                    on_result(outcome)
             if on_progress is not None:
                 elapsed = time.perf_counter() - started
                 eta: Optional[float] = None
@@ -188,51 +267,130 @@ class EnsembleRunner:
                     EnsembleProgress(
                         completed=completed,
                         total=total,
-                        job_id=result.job.job_id,
+                        job_id=outcome.job.job_id,
                         elapsed_seconds=elapsed,
                         eta_seconds=eta,
+                        failed=failed,
                     )
                 )
 
         by_id: Dict[str, ChainResult] = {}
+        failures_by_id: Dict[str, JobFailure] = {}
+
+        def build_result() -> EnsembleResult:
+            ordered = [by_id[job.job_id] for job in jobs if job.job_id in by_id]
+            ordered_failures = [
+                failures_by_id[job.job_id] for job in jobs if job.job_id in failures_by_id
+            ]
+            table_outcomes = [
+                by_id.get(job.job_id) or failures_by_id.get(job.job_id)
+                for job in jobs
+            ]
+            return EnsembleResult(
+                jobs=jobs,
+                results=ordered,
+                workers=self.workers,
+                wall_seconds=time.perf_counter() - started,
+                loaded_from_checkpoint=sum(1 for r in ordered if r.from_checkpoint),
+                table=ResultsTable.from_results(
+                    [outcome for outcome in table_outcomes if outcome is not None]
+                ),
+                failures=ordered_failures,
+            )
+
         if self.checkpoint is not None:
             by_id.update(self.checkpoint.load_completed(jobs))
             for result in by_id.values():
                 report(result)
         pending = [job for job in jobs if job.job_id not in by_id]
 
-        for result in self._execute(pending):
-            if self.checkpoint is not None:
-                self.checkpoint.store(result)
-            by_id[result.job.job_id] = result
-            report(result)
+        try:
+            for outcome in self._execute(pending):
+                if isinstance(outcome, JobFailure):
+                    if self.checkpoint is not None:
+                        self.checkpoint.store_failure(outcome)
+                    if self.failure_policy == "raise":
+                        failures_by_id[outcome.job.job_id] = outcome
+                        error = EnsembleAborted(
+                            f"job {outcome.job.job_id!r} failed after "
+                            f"{outcome.attempts} attempt(s) with "
+                            f"{outcome.error_type}: {outcome.message} "
+                            f"({len(by_id)}/{total} jobs completed; partial "
+                            f"results attached)"
+                        )
+                        error.failures = [outcome]
+                        raise error
+                    failures_by_id[outcome.job.job_id] = outcome
+                    report(outcome)
+                else:
+                    if self.checkpoint is not None:
+                        self.checkpoint.store(outcome)
+                    by_id[outcome.job.job_id] = outcome
+                    report(outcome)
+        except EnsembleAborted as error:
+            error.partial = build_result()
+            raise
+        except Exception as exc:
+            # Infrastructure failures (a pool crash, a serialization error
+            # in a worker, an unpicklable result) must not discard the
+            # checkpointed work the run already finished.
+            error = EnsembleAborted(
+                f"ensemble aborted after {len(by_id)}/{total} jobs: "
+                f"{type(exc).__name__}: {exc} (partial results attached)"
+            )
+            error.partial = build_result()
+            raise error from exc
 
-        ordered = [by_id[job.job_id] for job in jobs]
-        ensemble = EnsembleResult(
-            jobs=jobs,
-            results=ordered,
-            workers=self.workers,
-            wall_seconds=time.perf_counter() - started,
-            loaded_from_checkpoint=sum(1 for r in ordered if r.from_checkpoint),
-            table=ResultsTable.from_results(ordered),
+        return build_result()
+
+    @property
+    def supervised(self) -> bool:
+        """Whether execution routes through the supervised layer."""
+        return (
+            self.retry is not None
+            or self.fault_plan is not None
+            or self.failure_policy != "raise"
         )
-        return ensemble
 
     def _execute(self, pending: Sequence[Job]):
-        """Yield results for pending jobs as they complete."""
-        if self.workers == 1 or len(pending) <= 1:
-            for job in pending:
-                yield execute_job(job)
+        """Yield outcomes for pending jobs as they complete.
+
+        Unsupervised runs (no retry policy, no fault plan, default failure
+        policy) keep the original zero-overhead paths: in-process for
+        ``workers=1``, a plain ``multiprocessing.Pool`` otherwise.
+        Supervised runs go through :class:`SupervisedPool` — except the
+        serial no-timeout case, which uses the in-process supervised loop.
+        """
+        if not self.supervised:
+            if self.workers == 1 or len(pending) <= 1:
+                for job in pending:
+                    yield execute_job(job)
+                return
+            context = (
+                multiprocessing.get_context(self.start_method)
+                if self.start_method
+                else multiprocessing.get_context()
+            )
+            workers = min(self.workers, len(pending))
+            with context.Pool(processes=workers) as pool:
+                for result in pool.imap_unordered(execute_job, pending):
+                    yield result
             return
-        context = (
-            multiprocessing.get_context(self.start_method)
-            if self.start_method
-            else multiprocessing.get_context()
-        )
-        workers = min(self.workers, len(pending))
-        with context.Pool(processes=workers) as pool:
-            for result in pool.imap_unordered(execute_job, pending):
-                yield result
+
+        needs_processes = self.retry is not None and self.retry.timeout_seconds is not None
+        if self.workers == 1 and not needs_processes:
+            yield from run_supervised_serial(
+                pending, retry=self.retry, fault_plan=self.fault_plan
+            )
+            return
+        if pending:
+            pool = SupervisedPool(
+                workers=min(self.workers, len(pending)),
+                retry=self.retry,
+                fault_plan=self.fault_plan,
+                start_method=self.start_method,
+            )
+            yield from pool.run(pending)
 
 
 def run_ensemble(
@@ -242,7 +400,20 @@ def run_ensemble(
     on_result: Optional[Callable[[ChainResult], None]] = None,
     on_progress: Optional[Callable[[EnsembleProgress], None]] = None,
     start_method: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    failure_policy: str = "raise",
+    fault_plan: Optional[FaultPlan] = None,
+    on_failure: Optional[Callable[[JobFailure], None]] = None,
 ) -> EnsembleResult:
     """One-call convenience wrapper around :class:`EnsembleRunner`."""
-    runner = EnsembleRunner(workers=workers, checkpoint=checkpoint, start_method=start_method)
-    return runner.run(jobs, on_result=on_result, on_progress=on_progress)
+    runner = EnsembleRunner(
+        workers=workers,
+        checkpoint=checkpoint,
+        start_method=start_method,
+        retry=retry,
+        failure_policy=failure_policy,
+        fault_plan=fault_plan,
+    )
+    return runner.run(
+        jobs, on_result=on_result, on_progress=on_progress, on_failure=on_failure
+    )

@@ -1,0 +1,748 @@
+"""Supervised, fault-tolerant execution of ensemble jobs.
+
+The plain pool in :mod:`repro.runtime.runner` assumes a friendly world:
+every job returns, no worker dies, no job stalls.  This module is the
+layer for the other world — the one the paper's robustness claims are
+about — where a job raises, a worker is OOM-killed mid-chain, or a run
+wedges on one pathological seed:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff,
+  deterministic seeded jitter, and an optional per-job wall-clock timeout
+  enforced *by the supervisor* (a stalled worker is killed, not waited
+  on).
+* :class:`SupervisedPool` — worker processes watched over a result queue
+  and per-worker heartbeats: dead workers are detected and replaced, jobs
+  in flight on them are retried or quarantined, and in-flight work is
+  bounded at one job per worker (no poisoned ``imap`` iterator, no
+  unbounded task backlog).
+* :class:`JobFailure` — the structured record a job leaves behind when
+  every attempt is exhausted: exception type, message, traceback text,
+  per-attempt error log, attempt count and total wall-clock spent.
+* :class:`FaultPlan` / :class:`FaultSpec` — the runner-level
+  fault-injection harness (the :mod:`repro.io.trace_store` crash-harness
+  idea moved up the stack): chosen ``(job_id, attempt)`` pairs raise,
+  stall past their timeout, or ``os._exit`` the worker, so the
+  supervisor's recovery contract is pinned by tests rather than hoped
+  for.
+
+Determinism is preserved by construction: :func:`repro.runtime.jobs.execute_job`
+is a pure function of the job, retries re-run it from scratch on a fresh
+tape, and the supervisor never injects randomness into a job — so every
+job that *completes* under supervision is bit-identical per seed to a
+clean serial run, whatever faults occurred around it (pinned by
+``tests/runtime/test_supervision_faults.py`` under every start method).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import (
+    ConfigurationError,
+    JobError,
+    JobTimeout,
+    WorkerCrashed,
+)
+from repro.runtime.jobs import ChainResult, Job, execute_job
+
+#: The two ways an ensemble may respond to a job exhausting its attempts.
+FAILURE_POLICIES = ("raise", "quarantine")
+
+#: Fault actions the injection harness can trigger in a worker.
+FAULT_ACTIONS = ("raise", "stall", "exit")
+
+#: Supervisor poll granularity (seconds): the longest the parent waits on
+#: the result queue before re-checking deadlines and worker liveness.
+SUPERVISOR_TICK = 0.05
+
+
+class InjectedFault(JobError):
+    """The deliberate failure raised by a ``FaultSpec(action="raise")``."""
+
+
+# ---------------------------------------------------------------------- #
+# Policies
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times a job may run, how long to wait, how long to allow.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts per job (``1`` means no retries).
+    backoff_seconds:
+        Base delay before the second attempt; attempt ``k`` waits
+        ``backoff_seconds * backoff_multiplier**(k - 2)`` (scaled by
+        jitter) before re-dispatch.
+    backoff_multiplier:
+        Exponential growth factor of the backoff (``>= 1``).
+    jitter:
+        Maximum fractional inflation of a delay.  The inflation for a
+        given ``(job_id, attempt)`` is *deterministic* — a hash of
+        ``(seed, job_id, attempt)`` — so two runs of the same ensemble
+        retry on identical schedules: reproducibility extends to the
+        failure path, not just the happy path.
+    timeout_seconds:
+        Optional per-attempt wall-clock budget.  Enforced by the
+        supervisor from outside the worker (the worker is killed and the
+        attempt recorded as :class:`~repro.errors.JobTimeout`), so even a
+        job stuck in native code is bounded.  Requires process-isolated
+        execution: with ``workers=1`` the runner promotes the run onto a
+        single supervised worker process when a timeout is set.
+    seed:
+        Seed of the jitter hash.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.1
+    timeout_seconds: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise ConfigurationError(
+                f"backoff_seconds must be non-negative, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1:
+            raise ConfigurationError(
+                f"backoff_multiplier must be at least 1, got {self.backoff_multiplier}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be non-negative, got {self.jitter}")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+
+    def backoff_before(self, attempt: int, job_id: str) -> float:
+        """Seconds to wait before dispatching ``attempt`` (>= 2) of a job.
+
+        Pure in ``(policy, job_id, attempt)``: the jitter fraction is a
+        SHA-256 hash mapped to ``[0, 1)``, never a live RNG draw.
+        """
+        if attempt <= 1:
+            return 0.0
+        base = self.backoff_seconds * self.backoff_multiplier ** (attempt - 2)
+        if not base or not self.jitter:
+            return base
+        digest = hashlib.sha256(
+            f"{self.seed}:{job_id}:{attempt}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + self.jitter * fraction)
+
+
+def validate_failure_policy(failure_policy: str) -> str:
+    """Check a failure-policy string, returning it for chaining."""
+    if failure_policy not in FAILURE_POLICIES:
+        raise ConfigurationError(
+            f"unknown failure_policy {failure_policy!r}; "
+            f"expected one of {FAILURE_POLICIES}"
+        )
+    return failure_policy
+
+
+# ---------------------------------------------------------------------- #
+# Failure records
+# ---------------------------------------------------------------------- #
+@dataclass
+class JobFailure:
+    """What remains of a job whose every attempt failed.
+
+    Carried in :attr:`repro.runtime.runner.EnsembleResult.failures` under
+    ``failure_policy="quarantine"``, persisted as a ``job_failure``
+    checkpoint document (so a resumed run retries exactly the quarantined
+    jobs), and flattened into the results table with ``status="failed"``.
+    """
+
+    job: Job
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    wall_seconds: float = 0.0
+    #: Per-attempt error log: ``{"attempt", "error_type", "message",
+    #: "wall_seconds"}`` dicts in attempt order (the final attempt's full
+    #: traceback lives in ``traceback``).
+    attempt_errors: List[Dict[str, Any]] = field(default_factory=list)
+
+    def row(self) -> Dict[str, Any]:
+        """Flatten the failure into one results-table row."""
+        job = self.job
+        row: Dict[str, Any] = {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "engine": job.engine,
+            "lambda": job.lam,
+            "seed": job.seed,
+            "status": "failed",
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "error": self.message,
+            "wall_seconds": self.wall_seconds,
+        }
+        for key, value in job.metadata.items():
+            row.setdefault(key, value)
+        return row
+
+
+def _attempt_error(
+    attempt: int, error_type: str, message: str, wall_seconds: float
+) -> Dict[str, Any]:
+    return {
+        "attempt": attempt,
+        "error_type": error_type,
+        "message": message,
+        "wall_seconds": wall_seconds,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Fault injection
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what happens to one attempt of one job.
+
+    Actions (triggered in the worker, immediately before the job body —
+    the injection point of the runner-level harness):
+
+    * ``"raise"`` — raise :class:`InjectedFault` (an ordinary job error
+      the retry machinery sees as any other exception);
+    * ``"stall"`` — sleep ``seconds`` before executing normally,
+      modelling a wedged job (set ``seconds`` past the policy timeout to
+      exercise the supervisor's kill path);
+    * ``"exit"`` — ``os._exit(exit_code)``: a hard worker death that
+      skips ``finally`` blocks and queue flushes, the closest a test gets
+      to SIGKILL/OOM.
+    """
+
+    job_id: str
+    attempt: int
+    action: str
+    seconds: float = 3600.0
+    exit_code: int = 17
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+        if self.attempt < 1:
+            raise ConfigurationError(f"attempt must be at least 1, got {self.attempt}")
+        if self.seconds <= 0:
+            raise ConfigurationError(f"seconds must be positive, got {self.seconds}")
+
+    def trigger(self) -> None:
+        """Execute the fault in the current process."""
+        if self.action == "raise":
+            raise InjectedFault(
+                f"injected fault: job {self.job_id!r} attempt {self.attempt}"
+            )
+        if self.action == "stall":
+            time.sleep(self.seconds)
+            return
+        os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable set of :class:`FaultSpec` entries, one per (job, attempt)."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        keys = [(fault.job_id, fault.attempt) for fault in self.faults]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(
+                "fault plan contains duplicate (job_id, attempt) entries"
+            )
+
+    @classmethod
+    def build(cls, *faults: FaultSpec) -> "FaultPlan":
+        return cls(faults=tuple(faults))
+
+    def lookup(self, job_id: str, attempt: int) -> Optional[FaultSpec]:
+        """The fault injected into this attempt of this job, if any."""
+        for fault in self.faults:
+            if fault.job_id == job_id and fault.attempt == attempt:
+                return fault
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Worker side
+# ---------------------------------------------------------------------- #
+def _worker_main(
+    worker_id: int,
+    tasks,
+    results,
+    heartbeat,
+    heartbeat_interval: float,
+) -> None:
+    """Worker process body: execute tasks one at a time, forever.
+
+    Protocol on the shared result queue (all payloads plain picklables):
+
+    * ``("started", worker_id, job_id, attempt)`` — assignment ack; the
+      supervisor starts the attempt's timeout clock here.
+    * ``("ok", worker_id, job_id, attempt, ChainResult)``
+    * ``("error", worker_id, job_id, attempt, error_type, message,
+      traceback_text, wall_seconds)`` — the job raised; the exception is
+      flattened to strings so unpicklable exception objects can never
+      poison the queue.
+
+    A daemon thread stamps ``heartbeat`` (a shared double) with
+    ``time.time()`` every ``heartbeat_interval`` seconds, giving the
+    supervisor a liveness signal that survives the main thread being
+    busy in a long engine run.
+    """
+    heartbeat.value = time.time()
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            heartbeat.value = time.time()
+
+    threading.Thread(target=_beat, daemon=True).start()
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            job, attempt, fault = task
+            results.put(("started", worker_id, job.job_id, attempt))
+            started = time.perf_counter()
+            try:
+                if fault is not None:
+                    fault.trigger()
+                result = execute_job(job)
+            except Exception as exc:
+                results.put(
+                    (
+                        "error",
+                        worker_id,
+                        job.job_id,
+                        attempt,
+                        type(exc).__name__,
+                        str(exc),
+                        traceback_module.format_exc(),
+                        time.perf_counter() - started,
+                    )
+                )
+            else:
+                result.attempts = attempt
+                results.put(("ok", worker_id, job.job_id, attempt, result))
+    finally:
+        stop_beating.set()
+
+
+# ---------------------------------------------------------------------- #
+# Supervisor side
+# ---------------------------------------------------------------------- #
+class _Flight:
+    """One attempt currently executing on one worker."""
+
+    __slots__ = ("job", "attempt", "dispatched_at", "started_at")
+
+    def __init__(self, job: Job, attempt: int, dispatched_at: float) -> None:
+        self.job = job
+        self.attempt = attempt
+        self.dispatched_at = dispatched_at
+        self.started_at: Optional[float] = None
+
+    def deadline(self, timeout: Optional[float]) -> Optional[float]:
+        if timeout is None:
+            return None
+        return (self.started_at or self.dispatched_at) + timeout
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    __slots__ = ("worker_id", "process", "tasks", "heartbeat", "flight")
+
+    def __init__(self, worker_id: int, process, tasks, heartbeat) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.tasks = tasks
+        self.heartbeat = heartbeat
+        self.flight: Optional[_Flight] = None
+
+    def heartbeat_age(self) -> float:
+        """Seconds since the worker last stamped its heartbeat."""
+        return max(0.0, time.time() - self.heartbeat.value)
+
+    def discard(self) -> None:
+        """Tear the worker down without waiting for it (replacement path)."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(1.0)
+        self.tasks.close()
+        self.tasks.cancel_join_thread()
+
+
+class _JobState:
+    """Cross-attempt bookkeeping for one job."""
+
+    __slots__ = ("job", "attempts", "errors", "wall_seconds", "last_traceback")
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self.attempts = 0
+        self.errors: List[Dict[str, Any]] = []
+        self.wall_seconds = 0.0
+        self.last_traceback = ""
+
+    def to_failure(self) -> JobFailure:
+        last = self.errors[-1]
+        return JobFailure(
+            job=self.job,
+            error_type=last["error_type"],
+            message=last["message"],
+            traceback=self.last_traceback,
+            attempts=self.attempts,
+            wall_seconds=self.wall_seconds,
+            attempt_errors=list(self.errors),
+        )
+
+
+class SupervisedPool:
+    """Run jobs on watched worker processes; never hang, never lose a job.
+
+    The execution engine behind ``run_ensemble(..., retry=...,
+    failure_policy=...)``.  Differences from a bare
+    ``multiprocessing.Pool``:
+
+    * each worker owns a one-slot task queue, so in-flight work is
+      bounded at one job per worker and the supervisor always knows
+      exactly which job died with which worker;
+    * a shared result queue plus per-worker heartbeats and
+      ``is_alive()`` polling detect dead workers within a supervisor
+      tick; the worker is replaced and the orphaned attempt becomes a
+      :class:`~repro.errors.WorkerCrashed` attempt error;
+    * attempts exceeding ``retry.timeout_seconds`` get their worker
+      killed from outside (:class:`~repro.errors.JobTimeout`), so a
+      wedged job cannot stall the ensemble;
+    * failed attempts are retried up to ``retry.max_attempts`` with
+      deterministic backoff; jobs that exhaust their attempts are
+      yielded as :class:`JobFailure` records instead of poisoning the
+      iterator.
+
+    :meth:`run` yields outcomes (``ChainResult`` or ``JobFailure``) in
+    completion order; the caller (the runner) restores submission order.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        start_method: Optional[str] = None,
+        heartbeat_seconds: float = 0.1,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        self.workers = workers
+        self.retry = retry or RetryPolicy(max_attempts=1, backoff_seconds=0.0)
+        self.fault_plan = fault_plan
+        self.start_method = start_method
+        self.heartbeat_seconds = heartbeat_seconds
+        self._context = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else multiprocessing.get_context()
+        )
+        self._next_worker_id = 0
+
+    # ------------------------------------------------------------------ #
+    def _spawn_worker(self, results) -> _Worker:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        tasks = self._context.Queue(1)
+        heartbeat = self._context.Value("d", 0.0)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, tasks, results, heartbeat, self.heartbeat_seconds),
+            daemon=True,
+            name=f"repro-supervised-{worker_id}",
+        )
+        process.start()
+        return _Worker(worker_id, process, tasks, heartbeat)
+
+    def run(self, jobs: Sequence[Job]) -> Iterator[Union[ChainResult, JobFailure]]:
+        """Execute ``jobs``, yielding an outcome per job in completion order."""
+        jobs = list(jobs)
+        if not jobs:
+            return
+        states = {job.job_id: _JobState(job) for job in jobs}
+        pending: List[Tuple[Job, int]] = [(job, 1) for job in jobs]
+        pending.reverse()  # treat as a stack popping from the end = FIFO order
+        delayed: List[Tuple[float, Job, int]] = []
+        remaining = len(jobs)
+
+        results = self._context.Queue()
+        workers: Dict[int, _Worker] = {}
+        try:
+            for _ in range(min(self.workers, len(jobs))):
+                worker = self._spawn_worker(results)
+                workers[worker.worker_id] = worker
+
+            while remaining > 0:
+                now = time.monotonic()
+                # Promote retries whose backoff has elapsed.
+                ready = [entry for entry in delayed if entry[0] <= now]
+                if ready:
+                    delayed = [entry for entry in delayed if entry[0] > now]
+                    for _, job, attempt in sorted(ready, key=lambda entry: entry[0]):
+                        pending.append((job, attempt))
+
+                # Dispatch to idle workers, replacing any that died idle.
+                for worker_id in list(workers):
+                    if not pending:
+                        break
+                    worker = workers[worker_id]
+                    if worker.flight is not None:
+                        continue
+                    if not worker.process.is_alive():
+                        worker.discard()
+                        del workers[worker_id]
+                        worker = self._spawn_worker(results)
+                        workers[worker.worker_id] = worker
+                    job, attempt = pending.pop()
+                    fault = (
+                        self.fault_plan.lookup(job.job_id, attempt)
+                        if self.fault_plan is not None
+                        else None
+                    )
+                    worker.flight = _Flight(job, attempt, time.monotonic())
+                    worker.tasks.put((job, attempt, fault))
+
+                # Drain the result queue (one blocking wait, then whatever
+                # else is ready) so completions are never starved by the
+                # liveness checks below.
+                messages = []
+                try:
+                    messages.append(results.get(timeout=SUPERVISOR_TICK))
+                    while True:
+                        messages.append(results.get_nowait())
+                except queue_module.Empty:
+                    pass
+                for message in messages:
+                    outcome = self._handle_message(workers, states, message, delayed)
+                    if outcome is not None:
+                        remaining -= 1
+                        yield outcome
+
+                # Deadlines and dead workers.
+                now = time.monotonic()
+                for worker_id in list(workers):
+                    worker = workers[worker_id]
+                    flight = worker.flight
+                    if flight is None:
+                        continue
+                    crashed = not worker.process.is_alive()
+                    deadline = flight.deadline(self.retry.timeout_seconds)
+                    timed_out = deadline is not None and now > deadline
+                    if not crashed and not timed_out:
+                        continue
+                    if crashed:
+                        # The worker may have delivered its result in the
+                        # instant before dying; honor it over a crash record.
+                        leftovers = []
+                        try:
+                            while True:
+                                leftovers.append(results.get_nowait())
+                        except queue_module.Empty:
+                            pass
+                        for message in leftovers:
+                            outcome = self._handle_message(
+                                workers, states, message, delayed
+                            )
+                            if outcome is not None:
+                                remaining -= 1
+                                yield outcome
+                        if worker.flight is None:
+                            # Its final message resolved the flight after all.
+                            worker.discard()
+                            del workers[worker_id]
+                            replacement = self._spawn_worker(results)
+                            workers[replacement.worker_id] = replacement
+                            continue
+                        error: JobError = WorkerCrashed(
+                            flight.job.job_id, worker.process.exitcode
+                        )
+                    else:
+                        error = JobTimeout(
+                            flight.job.job_id, self.retry.timeout_seconds
+                        )
+                    wall = now - (flight.started_at or flight.dispatched_at)
+                    worker.discard()
+                    del workers[worker_id]
+                    replacement = self._spawn_worker(results)
+                    workers[replacement.worker_id] = replacement
+                    outcome = self._attempt_failed(
+                        states[flight.job.job_id],
+                        flight.attempt,
+                        type(error).__name__,
+                        str(error),
+                        "".join(
+                            traceback_module.format_exception_only(type(error), error)
+                        ),
+                        wall,
+                        delayed,
+                    )
+                    if outcome is not None:
+                        remaining -= 1
+                        yield outcome
+        finally:
+            for worker in workers.values():
+                if worker.flight is None and worker.process.is_alive():
+                    try:
+                        worker.tasks.put_nowait(None)
+                    except queue_module.Full:  # pragma: no cover - 1-slot race
+                        pass
+            deadline = time.monotonic() + 1.0
+            for worker in workers.values():
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+            for worker in workers.values():
+                worker.discard()
+            results.close()
+            results.cancel_join_thread()
+
+    # ------------------------------------------------------------------ #
+    def _handle_message(
+        self,
+        workers: Dict[int, _Worker],
+        states: Dict[str, _JobState],
+        message: Tuple,
+        delayed: List[Tuple[float, Job, int]],
+    ) -> Optional[Union[ChainResult, JobFailure]]:
+        kind, worker_id = message[0], message[1]
+        worker = workers.get(worker_id)
+        flight = worker.flight if worker is not None else None
+        if kind == "started":
+            _, _, job_id, attempt = message
+            if (
+                flight is not None
+                and flight.job.job_id == job_id
+                and flight.attempt == attempt
+            ):
+                flight.started_at = time.monotonic()
+            return None
+        if kind == "ok":
+            _, _, job_id, attempt, result = message
+            if (
+                flight is None
+                or flight.job.job_id != job_id
+                or flight.attempt != attempt
+            ):
+                return None  # stale: the attempt was already failed (e.g. timeout)
+            worker.flight = None
+            state = states[job_id]
+            state.attempts = attempt
+            state.wall_seconds += result.wall_seconds
+            return result
+        if kind == "error":
+            _, _, job_id, attempt, error_type, text, traceback_text, wall = message
+            if (
+                flight is None
+                or flight.job.job_id != job_id
+                or flight.attempt != attempt
+            ):
+                return None
+            worker.flight = None
+            return self._attempt_failed(
+                states[job_id], attempt, error_type, text, traceback_text, wall, delayed
+            )
+        return None  # pragma: no cover - unknown message kinds are ignored
+
+    def _attempt_failed(
+        self,
+        state: _JobState,
+        attempt: int,
+        error_type: str,
+        message: str,
+        traceback_text: str,
+        wall_seconds: float,
+        delayed: List[Tuple[float, Job, int]],
+    ) -> Optional[JobFailure]:
+        """Record one failed attempt; schedule a retry or produce the failure."""
+        state.attempts = attempt
+        state.wall_seconds += wall_seconds
+        state.errors.append(
+            _attempt_error(attempt, error_type, message, wall_seconds)
+        )
+        state.last_traceback = traceback_text
+        if attempt < self.retry.max_attempts:
+            delay = self.retry.backoff_before(attempt + 1, state.job.job_id)
+            delayed.append((time.monotonic() + delay, state.job, attempt + 1))
+            return None
+        return state.to_failure()
+
+
+# ---------------------------------------------------------------------- #
+# In-process supervised execution (workers == 1, no timeout)
+# ---------------------------------------------------------------------- #
+def run_supervised_serial(
+    jobs: Sequence[Job],
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Iterator[Union[ChainResult, JobFailure]]:
+    """Retry/quarantine semantics without worker processes.
+
+    The serial twin of :meth:`SupervisedPool.run` for ``workers=1`` runs:
+    same attempt loop, same backoff schedule, same failure records — but
+    executing in-process, so it cannot preempt a stalled attempt (the
+    runner promotes timeout-bearing policies onto a supervised worker
+    process instead) and an ``exit`` fault genuinely exits the process,
+    exactly as documented on :class:`FaultSpec`.
+    """
+    policy = retry or RetryPolicy(max_attempts=1, backoff_seconds=0.0)
+    for job in jobs:
+        state = _JobState(job)
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                time.sleep(policy.backoff_before(attempt, job.job_id))
+            fault = (
+                fault_plan.lookup(job.job_id, attempt)
+                if fault_plan is not None
+                else None
+            )
+            started = time.perf_counter()
+            try:
+                if fault is not None:
+                    fault.trigger()
+                result = execute_job(job)
+            except Exception as exc:
+                state.attempts = attempt
+                wall = time.perf_counter() - started
+                state.wall_seconds += wall
+                state.errors.append(
+                    _attempt_error(attempt, type(exc).__name__, str(exc), wall)
+                )
+                state.last_traceback = traceback_module.format_exc()
+            else:
+                result.attempts = attempt
+                yield result
+                break
+        else:
+            yield state.to_failure()

@@ -8,8 +8,11 @@ import pytest
 from repro.errors import SerializationError
 from repro.runtime import (
     EnsembleCheckpoint,
+    JobFailure,
     chain_result_from_json,
     chain_result_to_json,
+    job_failure_from_json,
+    job_failure_to_json,
     job_from_json,
     job_to_json,
     lambda_sweep_jobs,
@@ -132,3 +135,86 @@ class TestCheckpointResume:
         assert payload["kind"] == "chain_result"
         assert payload["job"]["job_id"] == jobs[0].job_id
         assert payload["trace"]["kind"] == "compression_trace"
+
+    def test_result_documents_carry_status_and_attempts(self, tmp_path):
+        """New documents state status/attempts; old documents (which
+        predate the fields) read back as a single-attempt success."""
+        jobs = sweep_jobs()[:1]
+        run_ensemble(jobs, checkpoint=tmp_path)
+        path = EnsembleCheckpoint(tmp_path).path_for(jobs[0].job_id)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["status"] == "ok"
+        assert payload["attempts"] == 1
+        del payload["status"], payload["attempts"]
+        old = chain_result_from_json(payload)
+        assert old.attempts == 1
+
+
+class TestFailureDocuments:
+    def failure(self, job):
+        return JobFailure(
+            job=job,
+            error_type="InjectedFault",
+            message="injected fault",
+            traceback="Traceback ...",
+            attempts=2,
+            wall_seconds=0.5,
+            attempt_errors=[
+                {"attempt": 1, "error_type": "InjectedFault",
+                 "message": "injected fault", "wall_seconds": 0.2},
+                {"attempt": 2, "error_type": "InjectedFault",
+                 "message": "injected fault", "wall_seconds": 0.3},
+            ],
+        )
+
+    def test_failure_roundtrip_is_lossless(self):
+        failure = self.failure(sweep_jobs()[0])
+        payload = json.loads(json.dumps(job_failure_to_json(failure)))
+        assert payload["kind"] == "job_failure"
+        assert payload["status"] == "failed"
+        loaded = job_failure_from_json(payload)
+        assert loaded.job == failure.job
+        assert loaded.error_type == failure.error_type
+        assert loaded.message == failure.message
+        assert loaded.traceback == failure.traceback
+        assert loaded.attempts == failure.attempts
+        assert loaded.wall_seconds == failure.wall_seconds
+        assert loaded.attempt_errors == failure.attempt_errors
+
+    def test_malformed_failure_payloads_rejected(self):
+        with pytest.raises(SerializationError):
+            job_failure_from_json({"kind": "chain_result"})
+        with pytest.raises(SerializationError):
+            job_failure_from_json({"kind": "job_failure"})
+
+    def test_failure_doc_counts_as_not_completed(self, tmp_path):
+        """A quarantined job's slot holds its failure record: ``load``
+        reads it as pending (so resume retries it), ``load_failure``
+        surfaces the record, and a later success overwrites it."""
+        jobs = sweep_jobs()[:1]
+        checkpoint = EnsembleCheckpoint(tmp_path)
+        checkpoint.store_failure(self.failure(jobs[0]))
+        assert checkpoint.load(jobs[0]) is None
+        assert checkpoint.load_failure(jobs[0]).attempts == 2
+        assert checkpoint.quarantined_ids() == [jobs[0].job_id]
+        assert checkpoint.completed_ids() == [jobs[0].job_id]
+
+        result = run_ensemble(jobs, checkpoint=tmp_path)
+        assert result.executed == 1
+        assert checkpoint.quarantined_ids() == []
+        assert checkpoint.load_failure(jobs[0]) is None
+        assert checkpoint.load(jobs[0]) is not None
+
+    def test_stale_failure_doc_is_refused(self, tmp_path):
+        """Fingerprint validation covers failure documents too: a foreign
+        directory is refused before any retry runs."""
+        jobs = sweep_jobs()[:1]
+        checkpoint = EnsembleCheckpoint(tmp_path)
+        checkpoint.store_failure(self.failure(jobs[0]))
+        altered = dataclasses.replace(jobs[0], iterations=jobs[0].iterations + 1)
+        with pytest.raises(SerializationError, match="stale checkpoint"):
+            checkpoint.load(altered)
+        with pytest.raises(SerializationError, match="stale checkpoint"):
+            checkpoint.load_failure(altered)
+        with pytest.raises(SerializationError, match="stale checkpoint"):
+            run_ensemble([altered], checkpoint=tmp_path)

@@ -143,6 +143,37 @@ class TestEnsembleDeterminism:
         assert [progress.completed for progress in reports] == [1, 2, 3]
         assert reports[-1].eta_seconds == 0.0
 
+    def test_eta_is_none_while_only_restores_have_completed(self, tmp_path):
+        """Checkpoint restores execute no work, so ``elapsed / executed``
+        has no denominator: mid-stream ETA must be ``None``, never a
+        division error or a bogus near-zero estimate — but completing the
+        whole ensemble from restores still reports ``eta_seconds == 0.0``."""
+        jobs = small_sweep_jobs()[:3]
+        run_ensemble(jobs, checkpoint=tmp_path)
+        reports = []
+        run_ensemble(jobs, checkpoint=tmp_path, on_progress=reports.append)
+        assert [progress.eta_seconds for progress in reports] == [None, None, 0.0]
+
+    def test_eta_recovers_once_a_job_executes_after_restores(self, tmp_path):
+        """A partially-restored run: restore reports carry no ETA, the
+        first executed job re-establishes the estimate, completion pins
+        it to zero."""
+        jobs = small_sweep_jobs()[:4]
+        run_ensemble(jobs[:2], checkpoint=tmp_path)
+        reports = []
+        resumed = run_ensemble(jobs, checkpoint=tmp_path, on_progress=reports.append)
+        assert resumed.loaded_from_checkpoint == 2
+        assert resumed.executed == 2
+        assert [progress.completed for progress in reports] == [1, 2, 3, 4]
+        assert [progress.eta_seconds is None for progress in reports] == [
+            True, True, False, False,
+        ]
+        third = reports[2]
+        # One executed job, one remaining: the classic estimate is the
+        # elapsed wall-clock itself.
+        assert third.eta_seconds == pytest.approx(third.elapsed_seconds)
+        assert reports[3].eta_seconds == 0.0
+
     def test_vector_engine_jobs_match_fast_engine_jobs(self):
         """engine="vector" runs through the runner and agrees with "fast"."""
         fast_job = ChainJob(job_id="f", lam=4.0, seed=11, n=40, iterations=20_000)

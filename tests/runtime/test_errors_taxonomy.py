@@ -1,0 +1,98 @@
+"""Pickle round-trips for the job-error taxonomy.
+
+Job errors are born on whichever side of a process boundary observed the
+failure — a worker raising, the supervisor recording a timeout — and may
+be re-raised on the other, so every class must survive pickling with its
+fields and message intact.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    EnsembleAborted,
+    JobError,
+    JobTimeout,
+    ReproError,
+    WorkerCrashed,
+)
+from repro.runtime.supervision import InjectedFault
+
+
+def roundtrip(error):
+    return pickle.loads(pickle.dumps(error))
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(JobError, ReproError)
+        assert issubclass(JobTimeout, JobError)
+        assert issubclass(WorkerCrashed, JobError)
+        assert issubclass(InjectedFault, JobError)
+        assert issubclass(EnsembleAborted, ReproError)
+        # An ensemble abort is *not* a per-job error: catching JobError
+        # around a single job must not swallow a whole-run abort.
+        assert not issubclass(EnsembleAborted, JobError)
+
+    def test_job_error_roundtrip(self):
+        clone = roundtrip(JobError("chain diverged"))
+        assert isinstance(clone, JobError)
+        assert str(clone) == "chain diverged"
+
+    def test_job_timeout_roundtrip(self):
+        error = JobTimeout("sweep-i2-lam4-r0", 1.5)
+        assert "sweep-i2-lam4-r0" in str(error)
+        assert "1.5s" in str(error)
+        clone = roundtrip(error)
+        assert isinstance(clone, JobTimeout)
+        assert clone.job_id == "sweep-i2-lam4-r0"
+        assert clone.timeout_seconds == 1.5
+        assert str(clone) == str(error)
+
+    def test_worker_crashed_roundtrip(self):
+        error = WorkerCrashed("replica-lam4-r1", exitcode=-9)
+        assert "exitcode -9" in str(error)
+        clone = roundtrip(error)
+        assert isinstance(clone, WorkerCrashed)
+        assert clone.job_id == "replica-lam4-r1"
+        assert clone.exitcode == -9
+        assert str(clone) == str(error)
+
+    def test_worker_crashed_without_exitcode(self):
+        clone = roundtrip(WorkerCrashed("j"))
+        assert clone.exitcode is None
+        assert "exitcode" not in str(clone)
+
+    def test_injected_fault_roundtrip(self):
+        clone = roundtrip(InjectedFault("injected fault: job 'a' attempt 1"))
+        assert isinstance(clone, InjectedFault)
+        assert str(clone) == "injected fault: job 'a' attempt 1"
+
+    def test_ensemble_aborted_roundtrip_drops_partial(self):
+        """The message pickles; partial results do not ride the exception.
+
+        Completed work crosses process boundaries via the checkpoint, not
+        via an exception object, so ``partial``/``failures`` reset to
+        their empty defaults on unpickle.
+        """
+        error = EnsembleAborted("job 'x' failed after 3 attempt(s)")
+        error.partial = object()  # stand-in for an EnsembleResult
+        error.failures = [object()]
+        clone = roundtrip(error)
+        assert isinstance(clone, EnsembleAborted)
+        assert str(clone) == str(error)
+        assert clone.partial is None
+        assert clone.failures == []
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            JobTimeout("j", 2.0),
+            WorkerCrashed("j", 17),
+            InjectedFault("boom"),
+        ],
+    )
+    def test_job_errors_caught_as_job_error(self, error):
+        with pytest.raises(JobError):
+            raise error
