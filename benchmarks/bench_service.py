@@ -1,0 +1,181 @@
+"""Service-path overhead: the localhost job server vs the direct runner.
+
+The service layer buys crash-surviving submission — persistent job log,
+wire protocol, event streaming, restart recovery — with extra moving
+parts: JSON framing on every request, an admission queue hop, checkpoint
+documents for every result, and a fetch round-trip per job.  The
+acceptance gate (``test_service_overhead_64jobs``, slow lane) demands
+that a 64-job fast-engine ensemble submitted through the localhost
+server stays within 10% of the direct
+:class:`~repro.runtime.runner.EnsembleRunner` wall-clock, and that the
+results are bit-identical — the server must be a transport, never a
+perturbation.
+
+Two ledger rows land in ``BENCH_ensemble.json``:
+
+* ``service_ensemble_64jobs`` — ``service_jobs_per_second`` plus the
+  measured overhead fraction of the paired direct run (best of 3 paired
+  rounds, as in ``bench_supervision.py``: noise can only inflate
+  overhead, so the minimum is the robust estimate);
+* ``service_submit_latency`` — ``service_p99_submit_to_first_result_ms``,
+  the p99 over single-job submit-to-first-result-event round trips
+  against an idle server (queueing excluded by construction: one job in
+  flight at a time).
+
+The saturation side of the backpressure contract rides along:
+``test_saturation_yields_server_busy`` floods a tiny admission queue and
+asserts the refusals arrive as explicit :class:`~repro.errors.ServerBusy`
+responses, never silent drops or unbounded queue growth.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+import _emit
+from repro.errors import ServerBusy
+from repro.runtime import replica_jobs, run_ensemble
+from repro.service import ServerConfig, ServiceClient, SimulationServer
+
+ENSEMBLE_LEDGER = Path(__file__).parent / "BENCH_ensemble.json"
+
+JOBS = 64
+#: Per-chain size: tens of milliseconds of engine work per job, so fixed
+#: per-job service costs (framing, queue hop, checkpoint write, fetch)
+#: are amortized the way real campaigns amortize them.
+N = 60
+ITERATIONS = 50_000
+OVERHEAD_GATE = 0.10
+LATENCY_PROBES = 32
+
+
+def _serve(tmp_path, name, **overrides):
+    server = SimulationServer(
+        ServerConfig(service_dir=Path(tmp_path) / name, **overrides)
+    )
+    host, port = server.start()
+    return server, host, port
+
+
+def _strip_wall(rows):
+    return [{k: v for k, v in row.items() if k != "wall_seconds"} for row in rows]
+
+
+@pytest.mark.slow
+def test_service_overhead_64jobs(tmp_path):
+    """Acceptance gate: the localhost service costs < 10% on a 64-job ensemble."""
+    jobs = replica_jobs(n=N, lam=4.0, iterations=ITERATIONS, replicas=JOBS, seed=0)
+    rounds = []
+    reference_rows = None
+    for round_index in range(3):
+        started = time.perf_counter()
+        direct = run_ensemble(jobs)
+        direct_seconds = time.perf_counter() - started
+
+        server, host, port = _serve(
+            tmp_path, f"svc-{round_index}", queue_capacity=2 * JOBS,
+            client_quota=2 * JOBS,
+        )
+        try:
+            with ServiceClient(host, port, client_id="bench") as client:
+                started = time.perf_counter()
+                via_service = client.run_jobs(jobs, timeout=600)
+                service_seconds = time.perf_counter() - started
+        finally:
+            server.stop()
+        assert len(via_service.results) == JOBS and not via_service.failures
+
+        if reference_rows is None:
+            reference_rows = _strip_wall(direct.table.rows)
+        # A transport, not a perturbation: bit-identical tables.
+        assert _strip_wall(via_service.table.rows) == reference_rows
+        rounds.append(
+            (direct_seconds, service_seconds, service_seconds / direct_seconds - 1.0)
+        )
+
+    direct_seconds, service_seconds, overhead = min(rounds, key=lambda r: r[2])
+    _emit.record(
+        "service_ensemble_64jobs",
+        path=ENSEMBLE_LEDGER,
+        jobs=JOBS,
+        n=N,
+        iterations_per_chain=ITERATIONS,
+        engine="fast",
+        direct_seconds=round(direct_seconds, 3),
+        service_seconds=round(service_seconds, 3),
+        service_jobs_per_second=round(JOBS / service_seconds, 2),
+        overhead_fraction=round(overhead, 4),
+        rounds=len(rounds),
+    )
+    assert overhead < OVERHEAD_GATE, (
+        f"the localhost service path costs {overhead:.1%} of direct-runner "
+        f"wall-clock on a {JOBS}-job ensemble ({service_seconds:.2f}s vs "
+        f"{direct_seconds:.2f}s); the acceptance bound is {OVERHEAD_GATE:.0%}"
+    )
+
+
+@pytest.mark.slow
+def test_service_submit_to_first_result_latency(tmp_path):
+    """Ledger row: p99 submit-to-first-result round trip on an idle server."""
+    jobs = replica_jobs(
+        n=20, lam=4.0, iterations=2_000, replicas=LATENCY_PROBES, seed=1
+    )
+    server, host, port = _serve(tmp_path, "svc-latency")
+    latencies = []
+    try:
+        with ServiceClient(host, port, client_id="latency") as client:
+            for job in jobs:  # one in flight at a time: no queueing term
+                started = time.perf_counter()
+                client.submit(job)
+                client.wait([job.job_id], timeout=60)
+                latencies.append(time.perf_counter() - started)
+    finally:
+        server.stop()
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    _emit.record(
+        "service_submit_latency",
+        path=ENSEMBLE_LEDGER,
+        probes=len(latencies),
+        n=20,
+        iterations_per_chain=2_000,
+        engine="fast",
+        service_p50_submit_to_first_result_ms=round(p50 * 1e3, 2),
+        service_p99_submit_to_first_result_ms=round(p99 * 1e3, 2),
+    )
+    # Sanity bound, not a perf gate: an idle localhost round trip plus a
+    # 2k-iteration job must never take a second.
+    assert p99 < 1.0, f"p99 submit-to-first-result was {p99 * 1e3:.0f}ms"
+
+
+@pytest.mark.slow
+def test_saturation_yields_server_busy(tmp_path):
+    """A saturating client gets explicit ServerBusy, not unbounded queue growth."""
+    server, host, port = _serve(
+        tmp_path, "svc-saturate", queue_capacity=4, batch_limit=1
+    )
+    jobs = replica_jobs(n=40, lam=4.0, iterations=400_000, replicas=12, seed=2)
+    refusals = 0
+    admitted = 0
+    try:
+        with ServiceClient(host, port, client_id="flood") as client:
+            for job in jobs:
+                try:
+                    client.submit(job)
+                    admitted += 1
+                except ServerBusy as busy:
+                    refusals += 1
+                    assert busy.reason in ("queue_full", "quota_exceeded")
+                    assert busy.capacity == 4 or busy.capacity > 0
+            status = client.status()
+    finally:
+        server.stop()
+    assert refusals > 0, "flooding a 4-slot queue never produced backpressure"
+    # Bounded admission: the server never held more than capacity + one
+    # executing batch worth of unfinished jobs.
+    unfinished = status["jobs"]["queued"] + status["jobs"]["running"]
+    assert unfinished <= 4 + 1

@@ -71,7 +71,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",

@@ -88,6 +88,68 @@ class WorkerCrashed(JobError):
         return (type(self), (self.job_id, self.exitcode))
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the simulation service layer.
+
+    Like :class:`JobError`, every subclass must survive a pickle
+    round-trip (pinned by ``tests/runtime/test_errors_taxonomy.py``):
+    service errors describe conditions observed across a process/wire
+    boundary and may be re-raised far from where they were created.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A wire frame violated the service protocol.
+
+    ``recoverable`` distinguishes a malformed *payload* inside a
+    well-framed message (the connection stays usable — the peer answers
+    with an error frame and keeps reading) from a broken *framing* layer
+    (truncated length prefix, oversized frame, mid-frame EOF), after
+    which the byte stream cannot be resynchronized and the connection
+    must be closed.
+    """
+
+    def __init__(self, message: str, recoverable: bool = False) -> None:
+        super().__init__(message)
+        self.recoverable = recoverable
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.recoverable))
+
+
+class ServerBusy(ServiceError):
+    """The server refused a submission for capacity reasons.
+
+    Explicit backpressure, never a silent drop: the admission queue is
+    full (``reason="queue_full"``), the client exceeded its quota of
+    unfinished jobs (``reason="quota_exceeded"``), or the server is
+    draining ahead of a shutdown (``reason="draining"``).  Clients are
+    expected to back off and resubmit — submissions are idempotent.
+    """
+
+    def __init__(self, reason: str, queued: int = 0, capacity: int = 0) -> None:
+        super().__init__(
+            f"server busy ({reason}): {queued} queued against a capacity of {capacity}"
+        )
+        self.reason = reason
+        self.queued = queued
+        self.capacity = capacity
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self.queued, self.capacity))
+
+
+class ServiceUnavailable(ServiceError):
+    """The client exhausted its reconnect attempts without reaching a server."""
+
+    def __init__(self, message: str, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.attempts))
+
+
 class EnsembleAborted(ReproError):
     """An ensemble run stopped before completing every job.
 

@@ -24,6 +24,7 @@ from repro.io.trace_store import (
     TRACE_COLUMNS,
     TraceStoreReader,
     TraceStoreSink,
+    TraceStoreWarning,
     TraceStoreWriter,
     iter_trace_stores,
     read_trace,
@@ -35,6 +36,7 @@ __all__ = [
     "TRACE_COLUMNS",
     "TraceStoreReader",
     "TraceStoreSink",
+    "TraceStoreWarning",
     "TraceStoreWriter",
     "iter_trace_stores",
     "read_trace",

@@ -98,6 +98,25 @@ _WRITE_CHUNK = 1024
 _MANIFEST_NAME = "manifest.json"
 
 
+class TraceStoreWarning(UserWarning):
+    """One unusable subdirectory skipped while scanning an ensemble root.
+
+    Emitted by :func:`iter_trace_stores` instead of raising mid-scan, so a
+    single torn, corrupt or foreign directory cannot abort the analysis of
+    an otherwise healthy archived ensemble.  Structured: ``path`` is the
+    skipped directory and ``reason`` one of ``"uncommitted"`` (store-like
+    remnants but no committed manifest), ``"corrupt"`` (a manifest that
+    fails to parse or validate) or ``"incomplete"`` (a valid store whose
+    writer never closed, skipped only under ``require_complete=True``).
+    """
+
+    def __init__(self, path: Path, reason: str, detail: str) -> None:
+        super().__init__(f"skipping {path} ({reason}): {detail}")
+        self.path = Path(path)
+        self.reason = reason
+        self.detail = detail
+
+
 def _file_write(handle, data: bytes) -> None:
     """The single choke point for every byte the store persists.
 
@@ -580,7 +599,9 @@ def read_trace(directory: PathLike) -> CompressionTrace:
     return TraceStoreReader(directory).read_trace()
 
 
-def iter_trace_stores(root: PathLike) -> Iterator[TraceStoreReader]:
+def iter_trace_stores(
+    root: PathLike, require_complete: bool = False
+) -> Iterator[TraceStoreReader]:
     """Readers for every store directory directly under ``root``, sorted by name.
 
     The on-disk-ensemble entry point: a job runner pointed at
@@ -588,10 +609,52 @@ def iter_trace_stores(root: PathLike) -> Iterator[TraceStoreReader]:
     the streaming analysis paths (e.g.
     :func:`repro.analysis.statistics.ensemble_summary_from_stores`) iterate
     them through here without materializing any trace.
+
+    The scan degrades instead of aborting: a subdirectory whose manifest
+    is corrupt or foreign (not a trace-store manifest at all), or which
+    holds only the uncommitted remnants of a crashed writer (segment or
+    ``.tmp`` files with no manifest), is skipped with a structured
+    :class:`TraceStoreWarning` — one torn store cannot take down the
+    analysis of a whole archived ensemble.  Directories with no
+    store-like content at all are ignored silently, as before.  With
+    ``require_complete=True``, stores whose writer never closed (manifest
+    ``complete: false``) are likewise skipped with a warning instead of
+    being yielded mid-write.
     """
+    import warnings
+
     root = Path(root)
     if not root.is_dir():
         raise SerializationError(f"{root} is not a directory of trace stores")
     for path in sorted(root.iterdir()):
-        if path.is_dir() and (path / _MANIFEST_NAME).exists():
-            yield TraceStoreReader(path)
+        if not path.is_dir():
+            continue
+        if not (path / _MANIFEST_NAME).exists():
+            store_like = any(
+                name.endswith(".tmp") or (name.startswith("seg-") and name.endswith(".npy"))
+                for name in os.listdir(path)
+            )
+            if store_like:
+                warnings.warn(
+                    TraceStoreWarning(
+                        path, "uncommitted",
+                        "store-like files but no committed manifest "
+                        "(a writer crashed before its first commit)",
+                    ),
+                    stacklevel=2,
+                )
+            continue
+        try:
+            reader = TraceStoreReader(path)
+        except SerializationError as exc:
+            warnings.warn(TraceStoreWarning(path, "corrupt", str(exc)), stacklevel=2)
+            continue
+        if require_complete and not reader.complete:
+            warnings.warn(
+                TraceStoreWarning(
+                    path, "incomplete", "manifest committed but the writer never closed"
+                ),
+                stacklevel=2,
+            )
+            continue
+        yield reader

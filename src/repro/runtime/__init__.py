@@ -17,7 +17,10 @@ boundary, replica ensembles for mixing estimates, and n-scaling studies:
   worker processes with heartbeats and dead-worker replacement, retry
   policies (backoff, deterministic jitter, supervisor-enforced timeouts),
   quarantined :class:`~repro.runtime.supervision.JobFailure` records, and
-  the runner-level fault-injection harness.
+  the runner-level fault-injection harness
+  (:class:`~repro.runtime.supervision.RunnerFaultPlan`; ``FaultPlan`` is
+  its deprecated alias — the amoebot-layer particle-fault injector of the
+  same name lives in :mod:`repro.amoebot.faults`).
 
 Quickstart::
 
@@ -57,6 +60,7 @@ from repro.runtime.supervision import (
     FAULT_ACTIONS,
     FaultPlan,
     FaultSpec,
+    RunnerFaultPlan,
     InjectedFault,
     JobFailure,
     RetryPolicy,
@@ -64,6 +68,7 @@ from repro.runtime.supervision import (
     run_supervised_serial,
 )
 from repro.runtime.checkpoint import (
+    CheckpointWarning,
     EnsembleCheckpoint,
     chain_result_from_json,
     chain_result_to_json,
@@ -90,6 +95,7 @@ __all__ = [
     "SEPARATION_JOB_KIND",
     "FaultPlan",
     "FaultSpec",
+    "RunnerFaultPlan",
     "InjectedFault",
     "JobFailure",
     "RetryPolicy",
@@ -114,6 +120,7 @@ __all__ = [
     "scaling_time_jobs",
     "separation_replica_jobs",
     "ResultsTable",
+    "CheckpointWarning",
     "EnsembleCheckpoint",
     "chain_result_from_json",
     "chain_result_to_json",

@@ -20,6 +20,7 @@ ensemble is bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -44,6 +45,33 @@ from repro.runtime.jobs import (
 )
 
 PathLike = Union[str, Path]
+
+
+class CheckpointWarning(UserWarning):
+    """A checkpoint document was skipped during resume instead of loaded.
+
+    Emitted by :meth:`EnsembleCheckpoint.load` /
+    :meth:`EnsembleCheckpoint.load_failure` when a per-job document is
+    unreadable or corrupt (torn write the atomic rename never committed,
+    disk damage, truncation).  The job is treated as *not completed* and
+    re-executed — degradation costs one job's work, not the whole
+    ensemble.  Fingerprint mismatches are **not** degraded: a readable
+    document recording a different job is the signature of a stale or
+    foreign directory and still raises
+    :class:`~repro.errors.SerializationError`.
+
+    ``path`` is the offending document, ``reason`` currently always
+    ``"corrupt"``, ``detail`` the underlying parse error.
+    """
+
+    def __init__(self, path: PathLike, reason: str, detail: str = "") -> None:
+        self.path = str(path)
+        self.reason = reason
+        self.detail = detail
+        message = f"skipping checkpoint document {self.path} ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
 
 
 def job_to_json(job: Job) -> Dict[str, Any]:
@@ -255,16 +283,25 @@ def job_failure_to_json(failure) -> Dict[str, Any]:
         "attempts": failure.attempts,
         "wall_seconds": failure.wall_seconds,
         "attempt_errors": list(failure.attempt_errors),
+        "worker_pid": failure.worker_pid,
+        "hostname": failure.hostname,
     }
 
 
 def job_failure_from_json(payload: Dict[str, Any]):
-    """Deserialize a failure document written by :func:`job_failure_to_json`."""
+    """Deserialize a failure document written by :func:`job_failure_to_json`.
+
+    ``worker_pid`` / ``hostname`` read back as ``None`` on documents
+    written before the fields existed, so old quarantine records keep
+    resuming unchanged.
+    """
     from repro.runtime.supervision import JobFailure
 
     try:
         if payload.get("kind") != "job_failure":
             raise SerializationError(f"unexpected document kind {payload.get('kind')!r}")
+        worker_pid = payload.get("worker_pid")
+        hostname = payload.get("hostname")
         return JobFailure(
             job=job_from_json(payload["job"]),
             error_type=str(payload["error_type"]),
@@ -273,6 +310,8 @@ def job_failure_from_json(payload: Dict[str, Any]):
             attempts=int(payload["attempts"]),
             wall_seconds=float(payload["wall_seconds"]),
             attempt_errors=list(payload.get("attempt_errors") or []),
+            worker_pid=None if worker_pid is None else int(worker_pid),
+            hostname=None if hostname is None else str(hostname),
         )
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise SerializationError(f"malformed job failure payload: {exc}") from exc
@@ -296,6 +335,34 @@ class EnsembleCheckpoint:
         """The document path for a job id."""
         return self.directory / f"{job_id}.json"
 
+    @staticmethod
+    def _read_document(path: Path) -> Optional[Dict[str, Any]]:
+        """Read one per-job document, degrading corruption to ``None``.
+
+        An unreadable or unparseable document — or one that parses but
+        lacks the ``job`` fingerprint every document embeds — gets a
+        :class:`CheckpointWarning` and reads as "not completed", so the
+        resumed run re-executes that one job instead of aborting.  A
+        *readable* document is returned as-is; fingerprint validation
+        (and its stale-directory refusal) stays with the caller.
+        """
+        try:
+            payload = load_json(path)
+        except SerializationError as exc:
+            warnings.warn(
+                CheckpointWarning(path, "corrupt", str(exc)), stacklevel=3
+            )
+            return None
+        if not isinstance(payload, dict) or "job" not in payload:
+            warnings.warn(
+                CheckpointWarning(
+                    path, "corrupt", "document is not a per-job record"
+                ),
+                stacklevel=3,
+            )
+            return None
+        return payload
+
     def store(self, result: ChainResult) -> Path:
         """Atomically persist one completed job (overwriting any failure doc)."""
         return save_json(chain_result_to_json(result), self.path_for(result.job.job_id))
@@ -313,12 +380,17 @@ class EnsembleCheckpoint:
 
         Raises :class:`SerializationError` when a document exists but was
         produced by a *different* job with the same id — the signature of a
-        stale or foreign checkpoint directory.
+        stale or foreign checkpoint directory.  An *unreadable* document
+        (torn write, disk corruption) instead degrades: a
+        :class:`CheckpointWarning` is emitted and the job reads as not
+        completed, so it re-runs rather than aborting the ensemble.
         """
         path = self.path_for(job.job_id)
         if not path.exists():
             return None
-        payload = load_json(path)
+        payload = self._read_document(path)
+        if payload is None:
+            return None
         if payload["job"] != job_to_json(job):
             raise SerializationError(
                 f"checkpoint entry {path} was produced by a different job "
@@ -340,8 +412,8 @@ class EnsembleCheckpoint:
         path = self.path_for(job.job_id)
         if not path.exists():
             return None
-        payload = load_json(path)
-        if payload.get("kind") != "job_failure":
+        payload = self._read_document(path)
+        if payload is None or payload.get("kind") != "job_failure":
             return None
         failure = job_failure_from_json(payload)
         if payload["job"] != job_to_json(job):

@@ -48,9 +48,9 @@ from repro.runtime.checkpoint import EnsembleCheckpoint, PathLike
 from repro.runtime.jobs import ChainResult, Job, execute_job
 from repro.runtime.results import ResultsTable
 from repro.runtime.supervision import (
-    FaultPlan,
     JobFailure,
     RetryPolicy,
+    RunnerFaultPlan,
     SupervisedPool,
     run_supervised_serial,
     validate_failure_policy,
@@ -179,7 +179,7 @@ class EnsembleRunner:
         :attr:`EnsembleResult.failures` (persisted to the checkpoint, so
         resuming retries exactly those jobs).
     fault_plan:
-        Optional :class:`~repro.runtime.supervision.FaultPlan` injected
+        Optional :class:`~repro.runtime.supervision.RunnerFaultPlan` injected
         into workers — the runner-level fault-injection harness.
     """
 
@@ -190,7 +190,7 @@ class EnsembleRunner:
         start_method: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
         failure_policy: str = "raise",
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[RunnerFaultPlan] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be at least 1, got {workers}")
@@ -402,7 +402,7 @@ def run_ensemble(
     start_method: Optional[str] = None,
     retry: Optional[RetryPolicy] = None,
     failure_policy: str = "raise",
-    fault_plan: Optional[FaultPlan] = None,
+    fault_plan: Optional[RunnerFaultPlan] = None,
     on_failure: Optional[Callable[[JobFailure], None]] = None,
 ) -> EnsembleResult:
     """One-call convenience wrapper around :class:`EnsembleRunner`."""

@@ -18,7 +18,7 @@ wedges on one pathological seed:
 * :class:`JobFailure` — the structured record a job leaves behind when
   every attempt is exhausted: exception type, message, traceback text,
   per-attempt error log, attempt count and total wall-clock spent.
-* :class:`FaultPlan` / :class:`FaultSpec` — the runner-level
+* :class:`RunnerFaultPlan` / :class:`FaultSpec` — the runner-level
   fault-injection harness (the :mod:`repro.io.trace_store` crash-harness
   idea moved up the stack): chosen ``(job_id, attempt)`` pairs raise,
   stall past their timeout, or ``os._exit`` the worker, so the
@@ -39,6 +39,7 @@ import hashlib
 import multiprocessing
 import os
 import queue as queue_module
+import socket
 import threading
 import time
 import traceback as traceback_module
@@ -177,9 +178,17 @@ class JobFailure:
     attempts: int
     wall_seconds: float = 0.0
     #: Per-attempt error log: ``{"attempt", "error_type", "message",
-    #: "wall_seconds"}`` dicts in attempt order (the final attempt's full
-    #: traceback lives in ``traceback``).
+    #: "wall_seconds"}`` (and ``"worker_pid"`` where known) dicts in
+    #: attempt order (the final attempt's full traceback lives in
+    #: ``traceback``).
     attempt_errors: List[Dict[str, Any]] = field(default_factory=list)
+    #: Pid of the worker process running the final failed attempt, when
+    #: the supervisor could observe one (``None`` on documents from
+    #: before the field existed).  With remote workers this is the pid
+    #: *on the executing host* — pair it with ``hostname``.
+    worker_pid: Optional[int] = None
+    #: Hostname of the machine the final attempt executed on.
+    hostname: Optional[str] = None
 
     def row(self) -> Dict[str, Any]:
         """Flatten the failure into one results-table row."""
@@ -202,14 +211,21 @@ class JobFailure:
 
 
 def _attempt_error(
-    attempt: int, error_type: str, message: str, wall_seconds: float
+    attempt: int,
+    error_type: str,
+    message: str,
+    wall_seconds: float,
+    worker_pid: Optional[int] = None,
 ) -> Dict[str, Any]:
-    return {
+    entry = {
         "attempt": attempt,
         "error_type": error_type,
         "message": message,
         "wall_seconds": wall_seconds,
     }
+    if worker_pid is not None:
+        entry["worker_pid"] = worker_pid
+    return entry
 
 
 # ---------------------------------------------------------------------- #
@@ -261,8 +277,19 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
-class FaultPlan:
-    """A picklable set of :class:`FaultSpec` entries, one per (job, attempt)."""
+class RunnerFaultPlan:
+    """A picklable set of :class:`FaultSpec` entries, one per (job, attempt).
+
+    This is the *runner-level* fault injector (raise/stall/``os._exit`` a
+    worker attempt) — unrelated to
+    :class:`repro.amoebot.faults.FaultPlan`, which injects crash/Byzantine
+    faults into the particles of a running amoebot system.  The two
+    classes shared the name ``FaultPlan`` until the rename; the old name
+    remains importable from this module as a deprecated alias so existing
+    code keeps working, but new code should use ``RunnerFaultPlan`` and
+    never risk grabbing the wrong injector from a ``from repro...``
+    import.
+    """
 
     faults: Tuple[FaultSpec, ...] = ()
 
@@ -274,7 +301,7 @@ class FaultPlan:
             )
 
     @classmethod
-    def build(cls, *faults: FaultSpec) -> "FaultPlan":
+    def build(cls, *faults: FaultSpec) -> "RunnerFaultPlan":
         return cls(faults=tuple(faults))
 
     def lookup(self, job_id: str, attempt: int) -> Optional[FaultSpec]:
@@ -283,6 +310,11 @@ class FaultPlan:
             if fault.job_id == job_id and fault.attempt == attempt:
                 return fault
         return None
+
+
+#: Deprecated alias for :class:`RunnerFaultPlan` (the name collided with
+#: the amoebot-layer :class:`repro.amoebot.faults.FaultPlan`).
+FaultPlan = RunnerFaultPlan
 
 
 # ---------------------------------------------------------------------- #
@@ -403,7 +435,9 @@ class _Worker:
 class _JobState:
     """Cross-attempt bookkeeping for one job."""
 
-    __slots__ = ("job", "attempts", "errors", "wall_seconds", "last_traceback")
+    __slots__ = (
+        "job", "attempts", "errors", "wall_seconds", "last_traceback", "worker_pid"
+    )
 
     def __init__(self, job: Job) -> None:
         self.job = job
@@ -411,6 +445,7 @@ class _JobState:
         self.errors: List[Dict[str, Any]] = []
         self.wall_seconds = 0.0
         self.last_traceback = ""
+        self.worker_pid: Optional[int] = None
 
     def to_failure(self) -> JobFailure:
         last = self.errors[-1]
@@ -422,6 +457,8 @@ class _JobState:
             attempts=self.attempts,
             wall_seconds=self.wall_seconds,
             attempt_errors=list(self.errors),
+            worker_pid=self.worker_pid,
+            hostname=socket.gethostname(),
         )
 
 
@@ -455,7 +492,7 @@ class SupervisedPool:
         self,
         workers: int,
         retry: Optional[RetryPolicy] = None,
-        fault_plan: Optional[FaultPlan] = None,
+        fault_plan: Optional[RunnerFaultPlan] = None,
         start_method: Optional[str] = None,
         heartbeat_seconds: float = 0.1,
     ) -> None:
@@ -595,6 +632,7 @@ class SupervisedPool:
                             flight.job.job_id, self.retry.timeout_seconds
                         )
                     wall = now - (flight.started_at or flight.dispatched_at)
+                    dead_pid = worker.process.pid
                     worker.discard()
                     del workers[worker_id]
                     replacement = self._spawn_worker(results)
@@ -609,6 +647,7 @@ class SupervisedPool:
                         ),
                         wall,
                         delayed,
+                        worker_pid=dead_pid,
                     )
                     if outcome is not None:
                         remaining -= 1
@@ -671,7 +710,8 @@ class SupervisedPool:
                 return None
             worker.flight = None
             return self._attempt_failed(
-                states[job_id], attempt, error_type, text, traceback_text, wall, delayed
+                states[job_id], attempt, error_type, text, traceback_text, wall,
+                delayed, worker_pid=worker.process.pid,
             )
         return None  # pragma: no cover - unknown message kinds are ignored
 
@@ -684,14 +724,16 @@ class SupervisedPool:
         traceback_text: str,
         wall_seconds: float,
         delayed: List[Tuple[float, Job, int]],
+        worker_pid: Optional[int] = None,
     ) -> Optional[JobFailure]:
         """Record one failed attempt; schedule a retry or produce the failure."""
         state.attempts = attempt
         state.wall_seconds += wall_seconds
         state.errors.append(
-            _attempt_error(attempt, error_type, message, wall_seconds)
+            _attempt_error(attempt, error_type, message, wall_seconds, worker_pid)
         )
         state.last_traceback = traceback_text
+        state.worker_pid = worker_pid
         if attempt < self.retry.max_attempts:
             delay = self.retry.backoff_before(attempt + 1, state.job.job_id)
             delayed.append((time.monotonic() + delay, state.job, attempt + 1))
@@ -705,7 +747,7 @@ class SupervisedPool:
 def run_supervised_serial(
     jobs: Sequence[Job],
     retry: Optional[RetryPolicy] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    fault_plan: Optional[RunnerFaultPlan] = None,
 ) -> Iterator[Union[ChainResult, JobFailure]]:
     """Retry/quarantine semantics without worker processes.
 
@@ -737,9 +779,12 @@ def run_supervised_serial(
                 wall = time.perf_counter() - started
                 state.wall_seconds += wall
                 state.errors.append(
-                    _attempt_error(attempt, type(exc).__name__, str(exc), wall)
+                    _attempt_error(
+                        attempt, type(exc).__name__, str(exc), wall, os.getpid()
+                    )
                 )
                 state.last_traceback = traceback_module.format_exc()
+                state.worker_pid = os.getpid()
             else:
                 result.attempts = attempt
                 yield result

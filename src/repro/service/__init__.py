@@ -1,0 +1,68 @@
+"""Simulation-as-a-service: a crash-surviving job server and its client.
+
+The service layer turns the ensemble runtime into a long-running server:
+clients submit :mod:`repro.runtime.jobs` descriptions over a
+length-prefixed JSON wire protocol, the server executes them through
+:class:`~repro.runtime.runner.EnsembleRunner` under quarantine policy,
+and every durable guarantee is inherited from the checkpoint layer —
+submissions are persisted before they are acknowledged, results are
+committed before they are announced, and a restarted server resumes
+exactly where the dead one stopped.  Completed jobs are never re-run.
+
+* :mod:`repro.service.protocol` — the wire format: 4-byte length prefix,
+  JSON object frames, version negotiation, recoverable-vs-fatal error
+  taxonomy;
+* :mod:`repro.service.state` — the persistent job registry: bounded
+  admission queue, per-client quotas, fingerprint-deduplicated
+  idempotent submission, restart recovery;
+* :mod:`repro.service.server` — the threaded server, event streaming to
+  subscribers, graceful drain, and the kill-injection hooks the crash
+  harness uses;
+* :mod:`repro.service.client` — the blocking client: deterministic
+  reconnect backoff (the supervision layer's SHA-256 jitter scheme),
+  resubmission-safe requests, a restart-surviving :meth:`wait`.
+
+Quickstart (server)::
+
+    python -m repro.service --service-dir ./service --port 7341
+
+Quickstart (client)::
+
+    from repro.runtime import replica_jobs
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", 7341) as client:
+        run = client.run_jobs(replica_jobs(n=40, lam=4.0,
+                                           iterations=20_000,
+                                           seed=7, replicas=8))
+        print(run.table.summary("final_alpha"))
+"""
+
+from repro.service.client import DEFAULT_RECONNECT, ServiceClient, ServiceRunResult
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSIONS,
+    encode_frame,
+    read_frame,
+    send_frame,
+)
+from repro.service.server import KILL_EXIT_CODE, ServerConfig, SimulationServer
+from repro.service.state import ServiceState, job_fingerprint
+
+__all__ = [
+    "DEFAULT_RECONNECT",
+    "KILL_EXIT_CODE",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "PROTOCOL_VERSIONS",
+    "ServerConfig",
+    "ServiceClient",
+    "ServiceRunResult",
+    "ServiceState",
+    "SimulationServer",
+    "encode_frame",
+    "job_fingerprint",
+    "read_frame",
+    "send_frame",
+]

@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Runs one :class:`~repro.service.server.SimulationServer` in the
+foreground until SIGTERM/SIGINT, then drains gracefully: new submissions
+are refused with ``busy (draining)``, queued and running jobs finish and
+commit, and only then does the process exit.  The kill-injection flags
+(``--kill-after-executions`` / ``--kill-after-submissions``) exist for
+the crash harness and do the opposite on purpose: ``os._exit`` with no
+cleanup at all, modeling a power cut.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from pathlib import Path
+
+from repro.runtime.supervision import RetryPolicy
+from repro.service.server import ServerConfig, SimulationServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the simulation job server.",
+    )
+    parser.add_argument("--service-dir", required=True, type=Path,
+                        help="persistent state directory (job log + checkpoint)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one; see --port-file)")
+    parser.add_argument("--port-file", type=Path, default=None,
+                        help="write 'host:port' here once listening (atomic)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="ensemble worker processes per batch")
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--client-quota", type=int, default=64)
+    parser.add_argument("--batch-limit", type=int, default=16)
+    parser.add_argument("--retry-attempts", type=int, default=1,
+                        help="supervised attempts per job (1 = no retry)")
+    parser.add_argument("--retry-timeout", type=float, default=None,
+                        help="per-attempt wall-clock timeout in seconds")
+    parser.add_argument("--server-id", default="repro-service")
+    parser.add_argument("--generation", type=int, default=0,
+                        help="incarnation tag for the execution log")
+    parser.add_argument("--execution-log", type=Path, default=None,
+                        help="append '<generation> <job_id>' per fresh execution")
+    parser.add_argument("--kill-after-executions", type=int, default=None,
+                        help="crash harness: os._exit after N fresh executions")
+    parser.add_argument("--kill-after-submissions", type=int, default=None,
+                        help="crash harness: os._exit after N accepted submissions, "
+                             "before acknowledging the N-th")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    retry = None
+    if args.retry_attempts > 1 or args.retry_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=max(1, args.retry_attempts),
+            timeout_seconds=args.retry_timeout,
+        )
+    server = SimulationServer(
+        ServerConfig(
+            service_dir=args.service_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            client_quota=args.client_quota,
+            batch_limit=args.batch_limit,
+            retry=retry,
+            server_id=args.server_id,
+            port_file=args.port_file,
+            generation=args.generation,
+            execution_log=args.execution_log,
+            kill_after_executions=args.kill_after_executions,
+            kill_after_submissions=args.kill_after_submissions,
+        )
+    )
+    host, port = server.start()
+    print(f"repro-service listening on {host}:{port} "
+          f"(generation {args.generation}, "
+          f"{server.recovered_completed} completed on disk, "
+          f"{server.recovered_requeued} requeued)", flush=True)
+
+    shutdown = threading.Event()
+
+    def handle_signal(signum, frame):  # noqa: ARG001 - signal API
+        shutdown.set()
+
+    signal.signal(signal.SIGTERM, handle_signal)
+    signal.signal(signal.SIGINT, handle_signal)
+    while not shutdown.wait(0.2):
+        pass
+    pending = server.drain()
+    if pending:
+        print(f"draining: {pending} job(s) pending", flush=True)
+        server.wait_drained()
+    server.stop()
+    print("repro-service stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

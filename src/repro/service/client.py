@@ -1,0 +1,400 @@
+"""Blocking service client with deterministic reconnect and idempotent resubmission.
+
+The client's one hard promise is that a server restart is invisible to
+the caller's *results*: every operation either completes or is retried
+against the restarted server, and because submissions are deduplicated
+by job fingerprint (see :func:`repro.service.state.job_fingerprint`), a
+resubmission after a lost acknowledgement is a no-op on the server.
+An ensemble driven through :meth:`ServiceClient.run_jobs` therefore
+reconverges to the same :class:`~repro.runtime.results.ResultsTable` an
+uninterrupted run produces — bit-identical, pinned by the kill/restart
+harness in ``tests/service/test_kill_restart.py``.
+
+Reconnect backoff reuses :class:`~repro.runtime.supervision.RetryPolicy`
+— the same deterministic SHA-256 jitter scheme the supervised runner
+retries jobs with, keyed here by ``(client_id, consecutive failure
+count)``.  No live RNG anywhere: two runs of the same client against the
+same kill schedule reconnect on identical schedules.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.errors import (
+    ProtocolError,
+    SerializationError,
+    ServerBusy,
+    ServiceUnavailable,
+)
+from repro.runtime.checkpoint import (
+    chain_result_from_json,
+    job_failure_from_json,
+    job_to_json,
+)
+from repro.runtime.jobs import ChainResult, Job
+from repro.runtime.results import ResultsTable
+from repro.runtime.supervision import JobFailure, RetryPolicy
+from repro.service import protocol
+
+#: Default reconnect schedule: 10 attempts spanning roughly 25 seconds
+#: (0.05 * 2^k with deterministic jitter) — generous enough to ride out
+#: a supervised restart, finite so a truly dead server surfaces as
+#: :class:`ServiceUnavailable` instead of a hang.
+DEFAULT_RECONNECT = RetryPolicy(
+    max_attempts=10, backoff_seconds=0.05, backoff_multiplier=2.0, jitter=0.1
+)
+
+
+@dataclass
+class ServiceRunResult:
+    """What :meth:`ServiceClient.run_jobs` returns, in submission order."""
+
+    jobs: List[Job]
+    results: List[ChainResult]
+    failures: List[JobFailure]
+    table: ResultsTable = field(default_factory=ResultsTable)
+
+    def result_for(self, job_id: str) -> ChainResult:
+        for result in self.results:
+            if result.job.job_id == job_id:
+                return result
+        raise KeyError(job_id)
+
+
+class ServiceClient:
+    """A blocking client for the simulation service.
+
+    One instance owns one request connection (re-established on demand)
+    plus short-lived subscription connections inside :meth:`wait`.  Not
+    thread-safe: use one client per thread.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client_id: str = "client",
+        reconnect: RetryPolicy = DEFAULT_RECONNECT,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.reconnect = reconnect
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._sock: Optional[socket.socket] = None
+        self._failures_in_a_row = 0
+        #: The last ``welcome`` frame received, for introspection/tests.
+        self.welcome: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ #
+    # Connection management
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _open_connection(self, timeout: float) -> socket.socket:
+        """Dial, negotiate the protocol version, return the ready socket."""
+        sock = socket.create_connection((self.host, self.port), timeout=self.connect_timeout)
+        sock.settimeout(timeout)
+        # Small latency-sensitive frames: disable Nagle's algorithm.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            protocol.send_frame(
+                sock,
+                {
+                    "type": "hello",
+                    "versions": list(protocol.PROTOCOL_VERSIONS),
+                    "client_id": self.client_id,
+                },
+            )
+            welcome = protocol.read_frame(sock)
+            if welcome is None:
+                raise ProtocolError("server closed the connection during negotiation")
+            if welcome.get("type") == "error":
+                raise ProtocolError(
+                    f"version negotiation failed: {welcome.get('message')}"
+                )
+            if welcome.get("type") != "welcome":
+                raise ProtocolError(
+                    f"expected a welcome frame, got {welcome.get('type')!r}",
+                )
+            self.welcome = welcome
+            return sock
+        except BaseException:
+            sock.close()
+            raise
+
+    def _backoff(self, attempt: int) -> None:
+        """Deterministic pre-reconnect sleep (attempt 1 retries immediately)."""
+        delay = self.reconnect.backoff_before(attempt, f"reconnect:{self.client_id}")
+        if delay:
+            time.sleep(delay)
+
+    def _rpc(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, read its response, reconnecting as needed.
+
+        Safe to retry because every request is idempotent: submissions
+        deduplicate on the job fingerprint, and everything else is a read
+        or an (idempotent) state transition.
+        """
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, self.reconnect.max_attempts + 1):
+            if attempt > 1 or self._failures_in_a_row:
+                self._backoff(max(attempt, self._failures_in_a_row + 1))
+            try:
+                if self._sock is None:
+                    self._sock = self._open_connection(self.request_timeout)
+                protocol.send_frame(self._sock, frame)
+                response = protocol.read_frame(self._sock)
+                if response is None:
+                    raise ProtocolError("server closed the connection mid-request")
+                self._failures_in_a_row = 0
+                return response
+            except (OSError, ProtocolError) as exc:
+                last_error = exc
+                self._failures_in_a_row += 1
+                self.close()
+        raise ServiceUnavailable(
+            f"no response from {self.host}:{self.port} after "
+            f"{self.reconnect.max_attempts} attempts (last error: {last_error})",
+            attempts=self.reconnect.max_attempts,
+        )
+
+    @staticmethod
+    def _raise_for(response: Dict[str, Any]) -> Dict[str, Any]:
+        """Convert error/busy response frames into their typed exceptions."""
+        frame_type = response.get("type")
+        if frame_type == "busy":
+            raise ServerBusy(
+                str(response.get("reason", "unknown")),
+                queued=int(response.get("queued", 0)),
+                capacity=int(response.get("capacity", 0)),
+            )
+        if frame_type == "error":
+            code = response.get("code")
+            message = str(response.get("message", ""))
+            if code == "bad_job":
+                raise SerializationError(message)
+            raise ProtocolError(f"server rejected the request ({code}): {message}")
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def submit(self, job: Union[Job, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit one job; raises :class:`ServerBusy` on backpressure.
+
+        Returns the ``submitted`` frame (``job_id``, ``fingerprint``,
+        ``state``, ``duplicate``).
+        """
+        payload = job if isinstance(job, dict) else job_to_json(job)
+        return self._raise_for(self._rpc({"type": "submit", "job": payload}))
+
+    def submit_with_backpressure(
+        self,
+        job: Union[Job, Dict[str, Any]],
+        max_busy_retries: int = 64,
+        base_delay: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Submit, honoring ``busy`` responses with deterministic backoff.
+
+        The polite way to saturate a server: each :class:`ServerBusy`
+        refusal waits (deterministically jittered, growing) and retries;
+        only ``max_busy_retries`` consecutive refusals propagate the
+        error to the caller.
+        """
+        job_id = job["job_id"] if isinstance(job, dict) else job.job_id
+        for busy_round in range(max_busy_retries + 1):
+            try:
+                return self.submit(job)
+            except ServerBusy:
+                if busy_round == max_busy_retries:
+                    raise
+                fraction = RetryPolicy(
+                    max_attempts=2, backoff_seconds=base_delay, jitter=0.5,
+                    seed=self.reconnect.seed,
+                ).backoff_before(2, f"busy:{job_id}:{busy_round}")
+                time.sleep(min(1.0, fraction * (1 + busy_round)))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        frame: Dict[str, Any] = {"type": "status"}
+        if job_id is not None:
+            frame["job_id"] = job_id
+        return self._raise_for(self._rpc(frame))
+
+    def fetch_document(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The raw checkpoint document for a finished job, else ``None``."""
+        response = self._rpc({"type": "fetch", "job_id": job_id})
+        if response.get("type") == "error" and response.get("code") == "not_found":
+            return None
+        return self._raise_for(response)["document"]
+
+    def result(self, job_id: str) -> ChainResult:
+        """Fetch and decode one completed job's :class:`ChainResult`."""
+        document = self.fetch_document(job_id)
+        if document is None:
+            raise KeyError(job_id)
+        return chain_result_from_json(document)
+
+    def failure(self, job_id: str) -> JobFailure:
+        """Fetch and decode one quarantined job's :class:`JobFailure`."""
+        document = self.fetch_document(job_id)
+        if document is None or document.get("kind") != "job_failure":
+            raise KeyError(job_id)
+        return job_failure_from_json(document)
+
+    def cancel(self, job_id: str) -> str:
+        return self._raise_for(self._rpc({"type": "cancel", "job_id": job_id}))["state"]
+
+    def drain(self) -> int:
+        return self._raise_for(self._rpc({"type": "drain"}))["pending"]
+
+    # ------------------------------------------------------------------ #
+    # Waiting
+    # ------------------------------------------------------------------ #
+    def wait(
+        self,
+        job_ids: Sequence[str],
+        timeout: Optional[float] = None,
+        poll_timeout: float = 2.0,
+    ) -> Dict[str, str]:
+        """Block until every job finished; survives server restarts.
+
+        Returns ``{job_id: "completed" | "failed"}``.  The wait is a loop
+        of (status snapshot, subscribe stream): the snapshot catches
+        completions that happened while we were disconnected, the stream
+        delivers live events; any connection loss — including a server
+        kill — tears down the stream and the loop reconnects with the
+        client's deterministic backoff.  Raises :class:`TimeoutError`
+        after ``timeout`` seconds and :class:`ServiceUnavailable` if the
+        server stays unreachable through a full reconnect schedule.
+        """
+        remaining: Set[str] = set(job_ids)
+        states: Dict[str, str] = {}
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def check_deadline() -> None:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"jobs still unfinished after {timeout:g}s: {sorted(remaining)}"
+                )
+
+        unavailable_rounds = 0
+        while remaining:
+            check_deadline()
+            # Snapshot: resolve anything that finished while disconnected.
+            try:
+                for job_id in sorted(remaining):
+                    reply = self.status(job_id)
+                    if reply.get("state") in ("completed", "failed"):
+                        states[job_id] = reply["state"]
+                        remaining.discard(job_id)
+                unavailable_rounds = 0
+            except ServiceUnavailable:
+                unavailable_rounds += 1
+                if deadline is None and unavailable_rounds >= 3:
+                    raise
+                check_deadline()
+                continue
+            if not remaining:
+                break
+            # Stream: ride live events until done or the connection dies.
+            try:
+                self._stream_events(remaining, states, deadline, poll_timeout)
+            except (OSError, ProtocolError):
+                self.close()
+        return states
+
+    def _stream_events(
+        self,
+        remaining: Set[str],
+        states: Dict[str, str],
+        deadline: Optional[float],
+        poll_timeout: float,
+    ) -> None:
+        """One subscription connection's worth of event consumption."""
+        sock = self._open_connection(poll_timeout)
+        try:
+            protocol.send_frame(
+                sock, {"type": "subscribe", "job_ids": sorted(remaining)}
+            )
+            while remaining:
+                if deadline is not None and time.monotonic() > deadline:
+                    return
+                try:
+                    frame = protocol.read_frame(sock)
+                except socket.timeout:
+                    # Quiet stream: drop back to the snapshot loop, which
+                    # also detects a server that silently went away.
+                    return
+                if frame is None:
+                    return
+                if frame.get("type") != "event":
+                    continue  # the "subscribed" ack, or future frame kinds
+                if frame.get("event") in ("result", "failure"):
+                    job_id = frame.get("job_id")
+                    if job_id in remaining:
+                        states[job_id] = str(frame.get("state"))
+                        remaining.discard(job_id)
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------ #
+    # Ensembles
+    # ------------------------------------------------------------------ #
+    def run_jobs(
+        self,
+        jobs: Sequence[Job],
+        timeout: Optional[float] = None,
+        max_busy_retries: int = 64,
+    ) -> ServiceRunResult:
+        """Submit an ensemble, wait it out, and assemble ordered results.
+
+        The service-side equivalent of
+        :meth:`repro.runtime.runner.EnsembleRunner.run`: results and
+        failures come back in submission order and are folded into a
+        :class:`ResultsTable` exactly the way the runner folds them, so a
+        run through the service is comparable row-for-row with a direct
+        run.  Submission honors backpressure; waiting survives restarts.
+        """
+        jobs = list(jobs)
+        for job in jobs:
+            self.submit_with_backpressure(job, max_busy_retries=max_busy_retries)
+        states = self.wait([job.job_id for job in jobs], timeout=timeout)
+        results: List[ChainResult] = []
+        failures: List[JobFailure] = []
+        outcomes = []
+        for job in jobs:
+            if states.get(job.job_id) == "failed":
+                failure = self.failure(job.job_id)
+                failures.append(failure)
+                outcomes.append(failure)
+            else:
+                result = self.result(job.job_id)
+                results.append(result)
+                outcomes.append(result)
+        return ServiceRunResult(
+            jobs=jobs,
+            results=results,
+            failures=failures,
+            table=ResultsTable.from_results(outcomes),
+        )

@@ -1,0 +1,207 @@
+"""Wire protocol of the simulation service: length-prefixed JSON frames.
+
+One frame is one JSON object, UTF-8 encoded, preceded by a 4-byte
+big-endian length.  The format is deliberately minimal — any language
+with sockets and a JSON parser can speak it — and the framing layer is
+the *only* stateful part of the protocol: requests are independent, so a
+client that reconnects mid-conversation loses nothing but the bytes in
+flight (submissions are idempotent, see :mod:`repro.service.client`).
+
+Two failure modes are kept strictly apart, encoded in
+:class:`~repro.errors.ProtocolError.recoverable`:
+
+* A malformed **payload** inside a well-framed message (bad JSON, not an
+  object, unknown ``type``, missing fields) is recoverable: the peer
+  answers with an ``error`` frame and keeps reading.  A buggy or
+  malicious client can therefore never kill the server's connection
+  loop — pinned by ``tests/service/test_protocol.py``.
+* A broken **framing** layer (truncated length prefix, mid-frame EOF,
+  oversized or empty frame) is not: the byte stream cannot be
+  resynchronized, so the connection must be closed.
+
+Every conversation starts with version negotiation: the client sends a
+``hello`` frame listing the protocol versions it speaks, the server
+answers ``welcome`` with the highest version both sides share (or an
+``error`` frame with code ``"unsupported_version"``).  There is exactly
+one version today; the negotiation exists so there can be a second one
+without breaking deployed clients.
+
+Request frames (client to server)::
+
+    {"type": "hello", "versions": [1], "client_id": "..."}
+    {"type": "submit", "job": {...}}          # repro.runtime.job_to_json form
+    {"type": "status", "job_id": "..."}       # job_id optional: server summary
+    {"type": "fetch", "job_id": "..."}        # completed/failed job document
+    {"type": "cancel", "job_id": "..."}
+    {"type": "subscribe", "job_ids": [...]}   # job_ids optional: everything
+    {"type": "drain"}
+
+Response frames (server to client)::
+
+    {"type": "welcome", "version": 1, "server_id": "...", "jobs_recovered": n}
+    {"type": "submitted", "job_id": "...", "state": "...", "duplicate": bool}
+    {"type": "busy", "reason": "...", "queued": n, "capacity": n}
+    {"type": "status_reply", ...}
+    {"type": "document", "job_id": "...", "document": {...}}
+    {"type": "cancelled", "job_id": "...", "state": "..."}
+    {"type": "subscribed", "backlog": n}      # then a stream of "event" frames
+    {"type": "event", "event": "result"|"failure"|"progress", ...}
+    {"type": "draining", "pending": n}
+    {"type": "error", "code": "...", "message": "..."}
+
+``busy`` is the explicit backpressure frame — the server never silently
+drops a submission.  The client raises it as
+:class:`~repro.errors.ServerBusy` (reasons: ``queue_full``,
+``quota_exceeded``, ``draining``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+from repro.errors import ProtocolError
+
+#: Protocol versions this build can speak, newest first.
+PROTOCOL_VERSIONS = (1,)
+PROTOCOL_VERSION = PROTOCOL_VERSIONS[0]
+
+#: Hard ceiling on one frame's payload.  Job descriptions and result
+#: documents are small (traces stream through trace stores, not the
+#: wire); anything larger is a corrupt length prefix, not a real frame.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_PREFIX = struct.Struct(">I")
+
+#: Frame types a server accepts.  Anything else in a well-framed message
+#: is answered with an ``error`` frame, never a closed connection.
+REQUEST_TYPES = frozenset(
+    {"hello", "submit", "status", "fetch", "cancel", "subscribe", "drain"}
+)
+
+#: Required string fields per request type (beyond ``type`` itself).
+_REQUIRED_ID = frozenset({"fetch", "cancel"})
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialize one frame to its length-prefixed wire form."""
+    payload = json.dumps(frame, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return _PREFIX.pack(len(payload)) + payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF at a frame boundary.
+
+    EOF *inside* the requested span raises an unrecoverable
+    :class:`ProtocolError` — the stream died mid-frame and cannot be
+    resynchronized.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames).
+
+    Framing violations (mid-frame EOF, zero-length or oversized frames)
+    raise :class:`ProtocolError` with ``recoverable=False``; a payload
+    that is well-framed but not a JSON object raises with
+    ``recoverable=True`` so a server loop can answer an ``error`` frame
+    and keep the connection alive.
+    """
+    prefix = _recv_exact(sock, _PREFIX.size)
+    if prefix is None:
+        return None
+    (length,) = _PREFIX.unpack(prefix)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
+            f"(corrupt length prefix?)"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:  # pragma: no cover - _recv_exact raises instead
+        raise ProtocolError("connection closed before frame payload")
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}", recoverable=True)
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(frame).__name__}",
+            recoverable=True,
+        )
+    return frame
+
+
+def send_frame(sock: socket.socket, frame: Dict[str, Any]) -> None:
+    """Encode and write one frame to the socket."""
+    sock.sendall(encode_frame(frame))
+
+
+def validate_request(frame: Dict[str, Any]) -> str:
+    """Check a decoded frame is a well-formed request; return its type.
+
+    Violations raise :class:`ProtocolError` with ``recoverable=True`` —
+    the framing layer is intact, so the server answers an ``error`` frame
+    and keeps reading.
+    """
+    frame_type = frame.get("type")
+    if not isinstance(frame_type, str):
+        raise ProtocolError("request frame has no string 'type' field", recoverable=True)
+    if frame_type not in REQUEST_TYPES:
+        raise ProtocolError(f"unknown request type {frame_type!r}", recoverable=True)
+    if frame_type == "hello":
+        versions = frame.get("versions")
+        if not isinstance(versions, list) or not all(
+            isinstance(v, int) for v in versions
+        ):
+            raise ProtocolError(
+                "hello frame must carry a 'versions' list of integers",
+                recoverable=True,
+            )
+    if frame_type == "submit" and not isinstance(frame.get("job"), dict):
+        raise ProtocolError(
+            "submit frame must carry a 'job' object", recoverable=True
+        )
+    if frame_type in _REQUIRED_ID and not isinstance(frame.get("job_id"), str):
+        raise ProtocolError(
+            f"{frame_type} frame must carry a string 'job_id'", recoverable=True
+        )
+    return frame_type
+
+
+def negotiate_version(client_versions) -> Optional[int]:
+    """Highest protocol version both sides speak, or ``None``."""
+    shared = set(client_versions) & set(PROTOCOL_VERSIONS)
+    return max(shared) if shared else None
+
+
+def error_frame(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """Build an ``error`` response frame."""
+    frame = {"type": "error", "code": code, "message": message}
+    frame.update(extra)
+    return frame
+
+
+def busy_frame(reason: str, queued: int, capacity: int) -> Dict[str, Any]:
+    """Build the explicit-backpressure ``busy`` response frame."""
+    return {"type": "busy", "reason": reason, "queued": queued, "capacity": capacity}

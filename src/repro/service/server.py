@@ -1,0 +1,507 @@
+"""The simulation job server: threads, sockets, and one source of truth.
+
+:class:`SimulationServer` accepts connections speaking the
+:mod:`repro.service.protocol` frame format, admits jobs through the
+persistent :class:`~repro.service.state.ServiceState` registry, and
+executes them on an :class:`~repro.runtime.runner.EnsembleRunner` under
+``failure_policy="quarantine"`` — so a failing job becomes a retriable
+:class:`~repro.runtime.supervision.JobFailure` document, never a dead
+server.  The design is blocking threads rather than asyncio because the
+runner itself is blocking: one executor thread drains the admission
+queue in batches, one acceptor thread hands each connection to its own
+handler thread, and all shared state lives behind
+:class:`ServiceState`'s single lock.
+
+Crash safety is inherited, not reimplemented: submissions are persisted
+before they are acknowledged, results are committed to the fingerprinted
+ensemble checkpoint *before* subscribers hear about them (the runner
+stores, then reports), and :meth:`SimulationServer.start` replays the
+job log against the checkpoint on every boot.  Killing the server at any
+instruction therefore loses at most in-flight attempts; completed jobs
+are never re-executed.  The kill/restart harness
+(``tests/service/test_kill_restart.py``, slow lane) pins exactly this by
+``os._exit``-ing the server at randomized points via the
+``kill_after_executions`` / ``kill_after_submissions`` hooks below.
+
+Backpressure is explicit end to end: admission refusals surface as
+``busy`` frames (see :class:`~repro.errors.ServerBusy`), malformed
+payloads as ``error`` frames — a connection only dies when its *framing*
+breaks.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, SerializationError, ServerBusy
+from repro.runtime.runner import EnsembleRunner
+from repro.runtime.supervision import RetryPolicy
+from repro.service import protocol
+from repro.service.state import ServiceState
+
+#: Exit status of a harness-induced ``os._exit`` (distinguishes planned
+#: kills from real crashes in the kill/restart tests).
+KILL_EXIT_CODE = 86
+
+
+@dataclass
+class ServerConfig:
+    """Everything a server boot needs, in one picklable bag.
+
+    ``kill_after_executions`` / ``kill_after_submissions`` are the crash
+    harness's levers: hard-exit the process (``os._exit``, no cleanup —
+    modeling a power cut) after the N-th freshly executed job is
+    committed, or after the N-th accepted submission is persisted but
+    *before* its acknowledgement is sent.  ``execution_log`` appends one
+    ``"<generation> <job_id>"`` line per fresh execution, fsynced before
+    any kill check, so the harness can prove no completed job ever
+    re-executed across restarts.
+    """
+
+    service_dir: Path
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    queue_capacity: int = 64
+    client_quota: int = 64
+    batch_limit: int = 16
+    retry: Optional[RetryPolicy] = None
+    server_id: str = "repro-service"
+    port_file: Optional[Path] = None
+    generation: int = 0
+    execution_log: Optional[Path] = None
+    kill_after_executions: Optional[int] = None
+    kill_after_submissions: Optional[int] = None
+
+
+class _Subscriber:
+    """One subscribed connection: a socket, its send lock, a job filter."""
+
+    __slots__ = ("sock", "send_lock", "job_ids")
+
+    def __init__(self, sock: socket.socket, send_lock: threading.Lock, job_ids) -> None:
+        self.sock = sock
+        self.send_lock = send_lock
+        self.job_ids = None if job_ids is None else set(job_ids)
+
+    def wants(self, job_id: str) -> bool:
+        return self.job_ids is None or job_id in self.job_ids
+
+
+class SimulationServer:
+    """A crash-surviving job server over the length-prefixed JSON protocol."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.state = ServiceState(
+            config.service_dir,
+            queue_capacity=config.queue_capacity,
+            client_quota=config.client_quota,
+        )
+        self.recovered_completed = 0
+        self.recovered_requeued = 0
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._drained = threading.Event()
+        self._subscribers: List[_Subscriber] = []
+        self._subscribers_lock = threading.Lock()
+        self._connections: List[socket.socket] = []
+        self._connections_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._executions = 0
+        self._submissions = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._listener is not None, "server not started"
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> Tuple[str, int]:
+        """Recover persisted state, bind, and start serving; returns (host, port)."""
+        self.recovered_completed, self.recovered_requeued = self.state.recover()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(64)
+        # A blocking accept() is not woken by close() from another
+        # thread; poll so stop() takes effect within one tick.
+        listener.settimeout(0.1)
+        self._listener = listener
+        host, port = self.address
+        if self.config.port_file is not None:
+            # Atomic so a watching harness never reads a half-written file.
+            tmp = Path(self.config.port_file).with_suffix(".tmp")
+            tmp.write_text(f"{host}:{port}\n")
+            os.replace(tmp, self.config.port_file)
+        executor = threading.Thread(
+            target=self._executor_loop, name="service-executor", daemon=True
+        )
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="service-acceptor", daemon=True
+        )
+        self._threads = [executor, acceptor]
+        executor.start()
+        acceptor.start()
+        return host, port
+
+    def stop(self) -> None:
+        """Stop accepting and executing; close every connection."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        with self._subscribers_lock:
+            self._subscribers = []
+        with self._connections_lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            # shutdown() (unlike close()) wakes a peer blocked in recv.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def drain(self) -> int:
+        """Refuse new submissions; returns the number of jobs still pending."""
+        return self.state.start_drain()
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until a drain completed (queue empty, nothing running)."""
+        return self._drained.wait(timeout)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _executor_loop(self) -> None:
+        while not self._stop.is_set():
+            batch = self.state.take_batch(self.config.batch_limit, timeout=0.1)
+            if not batch:
+                if self.state.draining and self.state.pending() == 0:
+                    self._drained.set()
+                continue
+            runner = EnsembleRunner(
+                workers=self.config.workers,
+                checkpoint=self.state.checkpoint,
+                retry=self.config.retry,
+                failure_policy="quarantine",
+            )
+            try:
+                runner.run(
+                    batch,
+                    on_result=self._on_result,
+                    on_failure=self._on_failure,
+                    on_progress=self._on_progress,
+                )
+            except Exception:
+                # Infrastructure failure: completed jobs of the batch are
+                # already committed and marked; put the rest back in line.
+                self.state.requeue(job.job_id for job in batch)
+
+    def _on_result(self, result) -> None:
+        job_id = result.job.job_id
+        self.state.mark(job_id, "completed")
+        if not getattr(result, "from_checkpoint", False):
+            self._log_execution(job_id)
+            self._maybe_kill_after_execution()
+        self._publish(
+            {
+                "type": "event",
+                "event": "result",
+                "job_id": job_id,
+                "state": "completed",
+                "attempts": result.attempts,
+            },
+            job_id,
+        )
+
+    def _on_failure(self, failure) -> None:
+        job_id = failure.job.job_id
+        self.state.mark(job_id, "failed")
+        self._publish(
+            {
+                "type": "event",
+                "event": "failure",
+                "job_id": job_id,
+                "state": "failed",
+                "error_type": failure.error_type,
+                "message": failure.message,
+                "attempts": failure.attempts,
+            },
+            job_id,
+        )
+
+    def _on_progress(self, progress) -> None:
+        self._publish(
+            {
+                "type": "event",
+                "event": "progress",
+                "job_id": progress.job_id,
+                "completed": progress.completed,
+                "total": progress.total,
+                "failed": progress.failed,
+            },
+            progress.job_id,
+        )
+
+    def _log_execution(self, job_id: str) -> None:
+        if self.config.execution_log is None:
+            return
+        # Append + flush + fsync before any kill check: the log must
+        # reflect every execution a kill could interrupt, or the harness
+        # could miss a duplicate execution.
+        with open(self.config.execution_log, "a", encoding="utf-8") as handle:
+            handle.write(f"{self.config.generation} {job_id}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _maybe_kill_after_execution(self) -> None:
+        if self.config.kill_after_executions is None:
+            return
+        with self._counter_lock:
+            self._executions += 1
+            if self._executions >= self.config.kill_after_executions:
+                os._exit(KILL_EXIT_CODE)
+
+    def _maybe_kill_after_submission(self) -> None:
+        if self.config.kill_after_submissions is None:
+            return
+        with self._counter_lock:
+            self._submissions += 1
+            if self._submissions >= self.config.kill_after_submissions:
+                os._exit(KILL_EXIT_CODE)
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            conn.settimeout(None)
+            # Frames are small and latency-sensitive; Nagle's algorithm
+            # would add tens of milliseconds per round trip.
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        """One connection's request loop.
+
+        A recoverable :class:`ProtocolError` (malformed payload in a
+        well-framed message) is answered with an ``error`` frame and the
+        loop continues — a broken client cannot kill the server.  Only
+        framing-level corruption or EOF ends the loop.
+        """
+        send_lock = threading.Lock()
+        context: Dict[str, Any] = {"client_id": None, "sock": conn, "lock": send_lock}
+        with self._connections_lock:
+            self._connections.append(conn)
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = protocol.read_frame(conn)
+                except ProtocolError as exc:
+                    if not exc.recoverable:
+                        return
+                    self._send(conn, send_lock, protocol.error_frame("protocol", str(exc)))
+                    continue
+                if frame is None:
+                    return
+                response = self._dispatch(frame, context)
+                if response is not None:
+                    self._send(conn, send_lock, response)
+        except OSError:
+            pass  # peer went away mid-write; nothing to clean up but the socket
+        finally:
+            self._forget_subscriber(conn)
+            with self._connections_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _send(self, sock: socket.socket, lock: threading.Lock, frame: Dict[str, Any]) -> None:
+        with lock:
+            protocol.send_frame(sock, frame)
+
+    def _dispatch(
+        self, frame: Dict[str, Any], context: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        try:
+            frame_type = protocol.validate_request(frame)
+        except ProtocolError as exc:
+            return protocol.error_frame("protocol", str(exc))
+
+        if frame_type == "hello":
+            version = protocol.negotiate_version(frame["versions"])
+            if version is None:
+                return protocol.error_frame(
+                    "unsupported_version",
+                    f"server speaks versions {list(protocol.PROTOCOL_VERSIONS)}, "
+                    f"client offered {frame['versions']}",
+                    versions=list(protocol.PROTOCOL_VERSIONS),
+                )
+            context["client_id"] = str(frame.get("client_id") or "anonymous")
+            context["version"] = version
+            return {
+                "type": "welcome",
+                "version": version,
+                "server_id": self.config.server_id,
+                "generation": self.config.generation,
+                "jobs_recovered": self.recovered_requeued,
+                "jobs_completed_on_disk": self.recovered_completed,
+            }
+
+        if context["client_id"] is None:
+            return protocol.error_frame(
+                "hello_required", "first frame on a connection must be 'hello'"
+            )
+
+        try:
+            if frame_type == "submit":
+                return self._handle_submit(frame, context)
+            if frame_type == "status":
+                return self._handle_status(frame)
+            if frame_type == "fetch":
+                document = self.state.document_for(frame["job_id"])
+                if document is None:
+                    return protocol.error_frame(
+                        "not_found",
+                        f"no committed document for job {frame['job_id']!r}",
+                        job_id=frame["job_id"],
+                    )
+                return {
+                    "type": "document",
+                    "job_id": frame["job_id"],
+                    "document": document,
+                }
+            if frame_type == "cancel":
+                state = self.state.cancel(frame["job_id"])
+                return {"type": "cancelled", "job_id": frame["job_id"], "state": state}
+            if frame_type == "subscribe":
+                return self._handle_subscribe(frame, context)
+            if frame_type == "drain":
+                pending = self.drain()
+                return {"type": "draining", "pending": pending}
+        except ServerBusy as busy:
+            return protocol.busy_frame(busy.reason, busy.queued, busy.capacity)
+        except SerializationError as exc:
+            return protocol.error_frame("bad_job", str(exc))
+        except Exception as exc:  # never let a handler bug kill the loop
+            return protocol.error_frame("internal", f"{type(exc).__name__}: {exc}")
+        raise AssertionError(f"unhandled request type {frame_type!r}")  # pragma: no cover
+
+    def _handle_submit(
+        self, frame: Dict[str, Any], context: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        record, duplicate = self.state.submit(frame["job"], context["client_id"])
+        if not duplicate:
+            # Harness hook: die after persisting but before acknowledging,
+            # the exact window idempotent resubmission exists for.
+            self._maybe_kill_after_submission()
+        return {
+            "type": "submitted",
+            "job_id": record.job.job_id,
+            "fingerprint": record.fingerprint,
+            "state": record.state,
+            "duplicate": duplicate,
+        }
+
+    def _handle_status(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        job_id = frame.get("job_id")
+        if job_id is None:
+            return {
+                "type": "status_reply",
+                "jobs": self.state.counts(),
+                "draining": self.state.draining,
+                "queue_capacity": self.config.queue_capacity,
+                "client_quota": self.config.client_quota,
+                "generation": self.config.generation,
+            }
+        state = self.state.job_state(str(job_id))
+        return {
+            "type": "status_reply",
+            "job_id": job_id,
+            "state": state or "unknown",
+        }
+
+    # ------------------------------------------------------------------ #
+    # Subscriptions
+    # ------------------------------------------------------------------ #
+    def _handle_subscribe(
+        self, frame: Dict[str, Any], context: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        job_ids = frame.get("job_ids")
+        if job_ids is not None and not (
+            isinstance(job_ids, list) and all(isinstance(j, str) for j in job_ids)
+        ):
+            return protocol.error_frame(
+                "protocol", "subscribe 'job_ids' must be a list of strings"
+            )
+        subscriber = _Subscriber(context["sock"], context["lock"], job_ids)
+        with self._subscribers_lock:
+            self._subscribers.append(subscriber)
+        # Catch-up: jobs that finished before this subscription still get
+        # an event, so a client that reconnected after a kill never waits
+        # on a completion that already happened.
+        backlog = []
+        for job_id in job_ids if job_ids is not None else []:
+            state = self.state.job_state(job_id)
+            if state in ("completed", "failed"):
+                backlog.append(
+                    {
+                        "type": "event",
+                        "event": "result" if state == "completed" else "failure",
+                        "job_id": job_id,
+                        "state": state,
+                        "catch_up": True,
+                    }
+                )
+        self._send(context["sock"], context["lock"], {"type": "subscribed", "backlog": len(backlog)})
+        for event in backlog:
+            self._send(context["sock"], context["lock"], event)
+        return None  # responses already sent in order
+
+    def _forget_subscriber(self, sock: socket.socket) -> None:
+        with self._subscribers_lock:
+            self._subscribers = [s for s in self._subscribers if s.sock is not sock]
+
+    def _publish(self, event: Dict[str, Any], job_id: str) -> None:
+        with self._subscribers_lock:
+            subscribers = list(self._subscribers)
+        dead = []
+        for subscriber in subscribers:
+            if not subscriber.wants(job_id):
+                continue
+            try:
+                self._send(subscriber.sock, subscriber.send_lock, event)
+            except OSError:
+                dead.append(subscriber.sock)
+        for sock in dead:
+            self._forget_subscriber(sock)

@@ -1,0 +1,345 @@
+"""Server-side job registry: persistent, bounded, quota-enforced.
+
+:class:`ServiceState` is the part of the job server that must survive a
+kill: every accepted submission is persisted as one JSON document under
+``<root>/jobs/`` *before* the client sees an acknowledgement, and results
+land in the fingerprinted
+:class:`~repro.runtime.checkpoint.EnsembleCheckpoint` at
+``<root>/checkpoint/`` the moment each job finishes (the runner stores
+before it reports — see :mod:`repro.runtime.runner`).  Restart recovery
+is therefore a pure function of the disk: re-read the job documents in
+submission (``seq``) order, mark the ones with a committed result
+``completed``, and re-enqueue the rest — including quarantined failures,
+which are retried per policy exactly as a resumed
+:class:`~repro.runtime.runner.EnsembleRunner` would retry them.
+Completed jobs are never re-run: the checkpoint's fingerprint validation
+guarantees a committed document is only ever *loaded*.
+
+Admission is explicitly bounded, and refusal is always loud: a full
+queue, an exhausted per-client quota, or a draining server raises
+:class:`~repro.errors.ServerBusy` (which the server answers as a
+``busy`` frame), never a silent drop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SerializationError, ServerBusy
+from repro.io.serialization import load_json, save_json
+from repro.runtime.checkpoint import (
+    EnsembleCheckpoint,
+    PathLike,
+    job_from_json,
+    job_to_json,
+)
+from repro.runtime.jobs import Job
+
+#: Lifecycle states of a job inside the service.
+JOB_STATES = ("queued", "running", "completed", "failed", "cancelled")
+
+
+def job_fingerprint(payload: Dict[str, Any]) -> str:
+    """SHA-256 of a job's canonical JSON form — the idempotency key.
+
+    Two submissions with the same fingerprint are the same job: the
+    server deduplicates on it, and a client that never saw its submit
+    acknowledgement can safely resubmit.
+    """
+    canonical = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class JobRecord:
+    """In-memory view of one submitted job."""
+
+    __slots__ = ("job", "payload", "fingerprint", "client_id", "seq", "state")
+
+    def __init__(
+        self,
+        job: Job,
+        payload: Dict[str, Any],
+        fingerprint: str,
+        client_id: str,
+        seq: int,
+        state: str = "queued",
+    ) -> None:
+        self.job = job
+        self.payload = payload
+        self.fingerprint = fingerprint
+        self.client_id = client_id
+        self.seq = seq
+        self.state = state
+
+
+class ServiceState:
+    """All mutable server state, guarded by one lock, persisted under ``root``."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        queue_capacity: int = 64,
+        client_quota: int = 32,
+    ) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.checkpoint = EnsembleCheckpoint(self.root / "checkpoint")
+        self.queue_capacity = queue_capacity
+        self.client_quota = client_quota
+        self.lock = threading.Lock()
+        self.queue_changed = threading.Condition(self.lock)
+        self.records: Dict[str, JobRecord] = {}
+        self.queue: List[str] = []  # job ids awaiting execution, FIFO
+        self.draining = False
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def _record_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _persist(self, record: JobRecord) -> None:
+        save_json(
+            {
+                "kind": "service_job",
+                "seq": record.seq,
+                "client_id": record.client_id,
+                "fingerprint": record.fingerprint,
+                "job": record.payload,
+            },
+            self._record_path(record.job.job_id),
+        )
+
+    def recover(self) -> Tuple[int, int]:
+        """Rebuild the registry from disk; ``(completed, requeued)`` counts.
+
+        Job documents are replayed in submission order; a job whose
+        checkpoint slot holds a committed ``chain_result`` is marked
+        completed (it will only ever be *loaded* again), everything else
+        — never-started, in-flight at the kill, or quarantined — is
+        re-enqueued.  Unreadable job documents are skipped (the client
+        never got an acknowledgement for a half-written record, so it
+        will resubmit).
+        """
+        loaded: List[Tuple[int, JobRecord]] = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                doc = load_json(path)
+                if not isinstance(doc, dict) or doc.get("kind") != "service_job":
+                    continue
+                payload = doc["job"]
+                record = JobRecord(
+                    job=job_from_json(payload),
+                    payload=payload,
+                    fingerprint=str(doc["fingerprint"]),
+                    client_id=str(doc["client_id"]),
+                    seq=int(doc["seq"]),
+                )
+            except (SerializationError, KeyError, TypeError, ValueError):
+                continue
+            loaded.append((record.seq, record))
+        loaded.sort(key=lambda item: item[0])
+
+        completed = requeued = 0
+        with self.lock:
+            for seq, record in loaded:
+                self._next_seq = max(self._next_seq, seq + 1)
+                if self.checkpoint.load(record.job) is not None:
+                    record.state = "completed"
+                    completed += 1
+                else:
+                    record.state = "queued"
+                    self.queue.append(record.job.job_id)
+                    requeued += 1
+                self.records[record.job.job_id] = record
+            self.queue_changed.notify_all()
+        return completed, requeued
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def _unfinished(self, client_id: str) -> int:
+        return sum(
+            1
+            for record in self.records.values()
+            if record.client_id == client_id and record.state in ("queued", "running")
+        )
+
+    def submit(self, payload: Dict[str, Any], client_id: str) -> Tuple[JobRecord, bool]:
+        """Admit one job; returns ``(record, duplicate)``.
+
+        Raises :class:`ServerBusy` for capacity refusals (explicit
+        backpressure) and :class:`SerializationError` for payloads that
+        do not describe a job or collide with a different job already
+        registered under the same id.
+
+        Idempotent: resubmitting an identical payload returns the
+        existing record with ``duplicate=True`` regardless of its state
+        — the resubmission path a client takes when the server died
+        between persisting the record and acknowledging it.
+        """
+        job = job_from_json(payload)  # raises SerializationError if malformed
+        # Round-trip so the stored payload is canonical: what job_to_json
+        # of the decoded job produces is what the checkpoint fingerprints,
+        # and equivalent submissions (tuple vs list spellings, key order)
+        # hash to the same idempotency key.
+        payload = job_to_json(job)
+        fingerprint = job_fingerprint(payload)
+        with self.lock:
+            existing = self.records.get(job.job_id)
+            if existing is not None:
+                if existing.fingerprint != fingerprint:
+                    raise SerializationError(
+                        f"job id {job.job_id!r} is already registered with a "
+                        f"different job specification; refusing the conflicting "
+                        f"submission"
+                    )
+                if existing.state == "cancelled":
+                    # Resurrect a cancelled slot: treat as a fresh submission.
+                    self._admit_locked(existing, client_id)
+                    existing.state = "queued"
+                    return existing, True
+                return existing, True
+            record = JobRecord(
+                job=job,
+                payload=payload,
+                fingerprint=fingerprint,
+                client_id=client_id,
+                seq=self._next_seq,
+            )
+            self._admit_locked(record, client_id)
+            self._next_seq += 1
+            self.records[job.job_id] = record
+            return record, False
+
+    def _admit_locked(self, record: JobRecord, client_id: str) -> None:
+        if self.draining:
+            raise ServerBusy(
+                "draining", queued=len(self.queue), capacity=self.queue_capacity
+            )
+        if len(self.queue) >= self.queue_capacity:
+            raise ServerBusy(
+                "queue_full", queued=len(self.queue), capacity=self.queue_capacity
+            )
+        if self._unfinished(client_id) >= self.client_quota:
+            raise ServerBusy(
+                "quota_exceeded",
+                queued=self._unfinished(client_id),
+                capacity=self.client_quota,
+            )
+        # Persist before acknowledging: a kill between here and the reply
+        # loses the ack, not the job — the client resubmits idempotently.
+        self._persist(record)
+        self.queue.append(record.job.job_id)
+        self.queue_changed.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Execution hand-off
+    # ------------------------------------------------------------------ #
+    def take_batch(self, limit: int, timeout: float = 0.2) -> List[Job]:
+        """Dequeue up to ``limit`` jobs for execution (blocks up to ``timeout``)."""
+        deadline = time.monotonic() + timeout
+        with self.lock:
+            while not self.queue:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self.queue_changed.wait(remaining)
+            batch_ids = self.queue[:limit]
+            del self.queue[: len(batch_ids)]
+            jobs = []
+            for job_id in batch_ids:
+                record = self.records[job_id]
+                record.state = "running"
+                jobs.append(record.job)
+            return jobs
+
+    def mark(self, job_id: str, state: str) -> None:
+        """Transition one job's in-memory state."""
+        assert state in JOB_STATES, state
+        with self.lock:
+            record = self.records.get(job_id)
+            if record is not None:
+                record.state = state
+            self.queue_changed.notify_all()
+
+    def requeue(self, job_ids) -> None:
+        """Put jobs back at the head of the queue (executor infra failure)."""
+        with self.lock:
+            for job_id in reversed(list(job_ids)):
+                record = self.records.get(job_id)
+                if record is not None and record.state == "running":
+                    record.state = "queued"
+                    self.queue.insert(0, job_id)
+            self.queue_changed.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Queries and control
+    # ------------------------------------------------------------------ #
+    def cancel(self, job_id: str) -> str:
+        """Cancel a queued job; returns the job's (possibly unchanged) state.
+
+        Only queued jobs can be cancelled — a running job is owned by the
+        runner, and a completed/failed one is history.  Cancelling
+        removes the persisted record so a restart does not resurrect it.
+        """
+        with self.lock:
+            record = self.records.get(job_id)
+            if record is None:
+                return "unknown"
+            if record.state == "queued":
+                self.queue.remove(job_id)
+                record.state = "cancelled"
+                self._record_path(job_id).unlink(missing_ok=True)
+            return record.state
+
+    def job_state(self, job_id: str) -> Optional[str]:
+        with self.lock:
+            record = self.records.get(job_id)
+            return None if record is None else record.state
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per lifecycle state (summary view)."""
+        with self.lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for record in self.records.values():
+                counts[record.state] += 1
+            return counts
+
+    def start_drain(self) -> int:
+        """Refuse new work from now on; returns jobs still pending."""
+        with self.lock:
+            self.draining = True
+            pending = sum(
+                1
+                for record in self.records.values()
+                if record.state in ("queued", "running")
+            )
+            self.queue_changed.notify_all()
+            return pending
+
+    def pending(self) -> int:
+        with self.lock:
+            return sum(
+                1
+                for record in self.records.values()
+                if record.state in ("queued", "running")
+            )
+
+    def document_for(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The raw checkpoint document for a finished job, or ``None``."""
+        path = self.checkpoint.path_for(job_id)
+        if not path.exists():
+            return None
+        try:
+            doc = load_json(path)
+        except SerializationError:
+            return None
+        return doc if isinstance(doc, dict) else None

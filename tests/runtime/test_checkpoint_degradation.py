@@ -1,0 +1,162 @@
+"""Checkpoint-directory degradation and enriched failure records.
+
+Two robustness contracts added with the service layer:
+
+* A corrupt or unreadable per-job document costs exactly one job's
+  re-execution (with a structured :class:`CheckpointWarning`), never the
+  ensemble — while the *stale-fingerprint* refusal stays loud, because a
+  readable document recording a different job means the whole directory
+  is suspect.
+* :class:`JobFailure` records carry the worker pid and hostname of the
+  final failed attempt, and documents written before those fields
+  existed keep loading (as ``None``).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.runtime import (
+    CheckpointWarning,
+    EnsembleCheckpoint,
+    FaultSpec,
+    JobFailure,
+    RunnerFaultPlan,
+    job_failure_from_json,
+    job_failure_to_json,
+    replica_jobs,
+    run_ensemble,
+)
+
+
+def make_jobs(replicas=3, iterations=300):
+    return replica_jobs(n=12, lam=4.0, iterations=iterations, seed=11, replicas=replicas)
+
+
+# --------------------------------------------------------------------- #
+# Corrupt-document degradation
+# --------------------------------------------------------------------- #
+def test_corrupt_document_warns_and_reruns_only_that_job(tmp_path):
+    jobs = make_jobs()
+    first = run_ensemble(jobs, checkpoint=tmp_path)
+    assert first.executed == len(jobs)
+
+    # Corrupt exactly one committed document (a torn write).
+    victim = jobs[1].job_id
+    checkpoint_path = tmp_path / f"{victim}.json"
+    checkpoint_path.write_text('{"kind": "chain_result", "job": ')
+
+    with pytest.warns(CheckpointWarning) as captured:
+        resumed = run_ensemble(jobs, checkpoint=tmp_path)
+    assert resumed.executed == 1  # only the corrupted slot re-ran
+    assert resumed.loaded_from_checkpoint == len(jobs) - 1
+    # Bit-identical to the uninterrupted run: same per-job outcomes.
+    assert [r.iterations for r in resumed.results] == [
+        r.iterations for r in first.results
+    ]
+    assert [r.accepted_moves for r in resumed.results] == [
+        r.accepted_moves for r in first.results
+    ]
+    warning = captured[0].message
+    assert warning.reason == "corrupt"
+    assert warning.path == str(checkpoint_path)
+    # The re-run overwrote the torn document with a committed one.
+    third = run_ensemble(jobs, checkpoint=tmp_path)
+    assert third.executed == 0
+
+
+def test_non_record_document_degrades_too(tmp_path):
+    jobs = make_jobs(replicas=2)
+    run_ensemble(jobs, checkpoint=tmp_path)
+    (tmp_path / f"{jobs[0].job_id}.json").write_text('["valid json", "wrong shape"]')
+    with pytest.warns(CheckpointWarning):
+        resumed = run_ensemble(jobs, checkpoint=tmp_path)
+    assert resumed.executed == 1
+
+
+def test_stale_fingerprint_still_refuses_loudly(tmp_path):
+    jobs = make_jobs(replicas=2)
+    run_ensemble(jobs, checkpoint=tmp_path)
+    # Same job ids, different specification: a foreign directory.
+    reseeded = replica_jobs(n=12, lam=4.0, iterations=300, seed=99, replicas=2)
+    assert [j.job_id for j in reseeded] == [j.job_id for j in jobs]
+    checkpoint = EnsembleCheckpoint(tmp_path)
+    with pytest.raises(SerializationError, match="stale checkpoint"):
+        checkpoint.load(reseeded[0])
+
+
+def test_corrupt_failure_document_reads_as_not_quarantined(tmp_path):
+    jobs = make_jobs(replicas=1)
+    checkpoint = EnsembleCheckpoint(tmp_path)
+    checkpoint.path_for(jobs[0].job_id).write_text("not json at all")
+    with pytest.warns(CheckpointWarning):
+        assert checkpoint.load_failure(jobs[0]) is None
+
+
+# --------------------------------------------------------------------- #
+# JobFailure worker pid / hostname
+# --------------------------------------------------------------------- #
+def _failure(job, **overrides):
+    fields = dict(
+        job=job,
+        error_type="ValueError",
+        message="boom",
+        traceback="Traceback ...",
+        attempts=2,
+        wall_seconds=0.5,
+        attempt_errors=[
+            {"attempt": 1, "error_type": "ValueError", "message": "boom",
+             "wall_seconds": 0.2, "worker_pid": 4242},
+        ],
+        worker_pid=4242,
+        hostname="worker-7.cluster",
+    )
+    fields.update(overrides)
+    return JobFailure(**fields)
+
+
+def test_job_failure_pid_hostname_round_trip(tmp_path):
+    job = make_jobs(replicas=1)[0]
+    failure = _failure(job)
+    restored = job_failure_from_json(job_failure_to_json(failure))
+    assert restored.worker_pid == 4242
+    assert restored.hostname == "worker-7.cluster"
+    assert restored.attempt_errors[0]["worker_pid"] == 4242
+
+
+def test_job_failure_back_compat_reads_old_documents(tmp_path):
+    job = make_jobs(replicas=1)[0]
+    payload = job_failure_to_json(_failure(job))
+    # A document written before the fields existed.
+    del payload["worker_pid"]
+    del payload["hostname"]
+    restored = job_failure_from_json(payload)
+    assert restored.worker_pid is None
+    assert restored.hostname is None
+
+
+def test_quarantined_run_records_pid_and_hostname(tmp_path):
+    # Injected failure on every attempt: quarantine captures the serial
+    # worker's pid and hostname in the persisted record.
+    jobs = make_jobs(replicas=2, iterations=200)
+    broken = jobs[0]
+    plan = RunnerFaultPlan.build(
+        FaultSpec(broken.job_id, 1, "raise"),
+        FaultSpec(broken.job_id, 2, "raise"),
+        FaultSpec(broken.job_id, 3, "raise"),
+    )
+    result = run_ensemble(
+        jobs, failure_policy="quarantine", checkpoint=tmp_path, fault_plan=plan
+    )
+    assert result.failed_ids == [broken.job_id]
+    failure = result.failures[0]
+    assert failure.worker_pid == os.getpid()  # serial supervised path
+    assert failure.hostname == socket.gethostname()
+    # And the persisted document round-trips the fields.
+    restored = EnsembleCheckpoint(tmp_path).load_failure(broken)
+    assert restored.worker_pid == os.getpid()
+    assert restored.hostname == socket.gethostname()

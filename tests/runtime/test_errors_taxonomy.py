@@ -96,3 +96,49 @@ class TestTaxonomy:
     def test_job_errors_caught_as_job_error(self, error):
         with pytest.raises(JobError):
             raise error
+
+
+class TestServiceTaxonomy:
+    """The service-layer errors cross the wire; they must pickle too."""
+
+    def test_hierarchy(self):
+        from repro.errors import (
+            ProtocolError,
+            ServerBusy,
+            ServiceError,
+            ServiceUnavailable,
+        )
+
+        assert issubclass(ServiceError, ReproError)
+        for cls in (ProtocolError, ServerBusy, ServiceUnavailable):
+            assert issubclass(cls, ServiceError)
+            # Catching JobError around a single job must not swallow a
+            # transport-layer failure.
+            assert not issubclass(cls, JobError)
+
+    def test_protocol_error_roundtrip(self):
+        from repro.errors import ProtocolError
+
+        clone = roundtrip(ProtocolError("bad frame", recoverable=True))
+        assert isinstance(clone, ProtocolError)
+        assert clone.recoverable is True
+        assert str(clone) == "bad frame"
+        assert roundtrip(ProtocolError("eof")).recoverable is False
+
+    def test_server_busy_roundtrip(self):
+        from repro.errors import ServerBusy
+
+        error = ServerBusy("queue_full", queued=64, capacity=64)
+        assert "queue_full" in str(error)
+        clone = roundtrip(error)
+        assert isinstance(clone, ServerBusy)
+        assert (clone.reason, clone.queued, clone.capacity) == ("queue_full", 64, 64)
+        assert str(clone) == str(error)
+
+    def test_service_unavailable_roundtrip(self):
+        from repro.errors import ServiceUnavailable
+
+        clone = roundtrip(ServiceUnavailable("no server at :7341", attempts=10))
+        assert isinstance(clone, ServiceUnavailable)
+        assert clone.attempts == 10
+        assert str(clone) == "no server at :7341"

@@ -14,7 +14,7 @@ import pytest
 from repro.errors import ConfigurationError, EnsembleAborted
 from repro.runtime import (
     EnsembleRunner,
-    FaultPlan,
+    RunnerFaultPlan,
     FaultSpec,
     InjectedFault,
     JobFailure,
@@ -33,7 +33,7 @@ def small_jobs(replicas=3):
 
 def fail_always(job_id, max_attempts):
     """A plan that makes every attempt of one job raise."""
-    return FaultPlan.build(
+    return RunnerFaultPlan.build(
         *(FaultSpec(job_id, attempt, "raise") for attempt in range(1, max_attempts + 1))
     )
 
@@ -88,7 +88,7 @@ class TestRetryPolicy:
             EnsembleRunner(failure_policy="ignore")
 
 
-class TestFaultPlan:
+class TestRunnerFaultPlan:
     def test_spec_validation(self):
         with pytest.raises(ConfigurationError):
             FaultSpec("j", 1, "explode")
@@ -99,10 +99,10 @@ class TestFaultPlan:
 
     def test_duplicate_entries_rejected(self):
         with pytest.raises(ConfigurationError):
-            FaultPlan.build(FaultSpec("j", 1, "raise"), FaultSpec("j", 1, "stall"))
+            RunnerFaultPlan.build(FaultSpec("j", 1, "raise"), FaultSpec("j", 1, "stall"))
 
     def test_lookup(self):
-        plan = FaultPlan.build(
+        plan = RunnerFaultPlan.build(
             FaultSpec("a", 1, "raise"), FaultSpec("a", 2, "stall"), FaultSpec("b", 1, "exit")
         )
         assert plan.lookup("a", 1).action == "raise"
@@ -114,13 +114,25 @@ class TestFaultPlan:
         with pytest.raises(InjectedFault, match="job 'j' attempt 2"):
             FaultSpec("j", 2, "raise").trigger()
 
+    def test_deprecated_alias_and_no_amoebot_collision(self):
+        """``FaultPlan`` stays importable as an alias of ``RunnerFaultPlan``,
+        and is a distinct class from the amoebot particle-fault injector
+        that used to share its name."""
+        from repro.amoebot.faults import FaultPlan as AmoebotFaultPlan
+        from repro.runtime import FaultPlan as RuntimeAlias
+        from repro.runtime.supervision import FaultPlan as SupervisionAlias
+
+        assert RuntimeAlias is RunnerFaultPlan
+        assert SupervisionAlias is RunnerFaultPlan
+        assert AmoebotFaultPlan is not RunnerFaultPlan
+
 
 class TestSerialSupervision:
     def test_retry_recovers_bit_identically(self):
         """A job whose first attempt raises retries and matches a clean run."""
         jobs = small_jobs()
         clean = run_ensemble(jobs)
-        plan = FaultPlan.build(FaultSpec(jobs[1].job_id, 1, "raise"))
+        plan = RunnerFaultPlan.build(FaultSpec(jobs[1].job_id, 1, "raise"))
         faulted = run_ensemble(jobs, retry=QUICK_RETRY, fault_plan=plan)
         assert not faulted.failures
         for c, f in zip(clean.results, faulted.results):
@@ -194,7 +206,7 @@ class TestSerialSupervision:
     def test_unsupervised_runs_bypass_the_supervised_layer(self):
         assert not EnsembleRunner().supervised
         assert EnsembleRunner(retry=QUICK_RETRY).supervised
-        assert EnsembleRunner(fault_plan=FaultPlan()).supervised
+        assert EnsembleRunner(fault_plan=RunnerFaultPlan()).supervised
         assert EnsembleRunner(failure_policy="quarantine").supervised
 
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro.runtime import (
     EnsembleCheckpoint,
-    FaultPlan,
+    RunnerFaultPlan,
     FaultSpec,
     RetryPolicy,
     replica_jobs,
@@ -48,7 +48,7 @@ class TestTier1Subset:
         """In-process raises in two workers: retried, bit-identical."""
         jobs = harness_jobs(4)
         clean = run_ensemble(jobs)
-        plan = FaultPlan.build(
+        plan = RunnerFaultPlan.build(
             FaultSpec(jobs[0].job_id, 1, "raise"),
             FaultSpec(jobs[2].job_id, 1, "raise"),
         )
@@ -67,7 +67,7 @@ class TestTier1Subset:
         """workers=1 with a timeout promotes to one supervised process."""
         jobs = harness_jobs(1)
         clean = run_ensemble(jobs)
-        plan = FaultPlan.build(FaultSpec(jobs[0].job_id, 1, "stall", seconds=30.0))
+        plan = RunnerFaultPlan.build(FaultSpec(jobs[0].job_id, 1, "stall", seconds=30.0))
         recovered = run_ensemble(
             jobs,
             workers=1,
@@ -92,7 +92,7 @@ class TestFullHarness:
         jobs = harness_jobs(6)
         clean = run_ensemble(jobs)
         doomed = jobs[3].job_id
-        plan = FaultPlan.build(
+        plan = RunnerFaultPlan.build(
             FaultSpec(jobs[0].job_id, 1, "raise"),
             FaultSpec(jobs[1].job_id, 1, "stall", seconds=60.0),
             FaultSpec(jobs[2].job_id, 1, "exit"),
@@ -133,7 +133,7 @@ class TestFullHarness:
         """Jobs that die the same way every attempt quarantine with the
         supervisor-side error, not a generic failure."""
         jobs = harness_jobs(3)
-        plan = FaultPlan.build(
+        plan = RunnerFaultPlan.build(
             FaultSpec(jobs[0].job_id, 1, "exit", exit_code=23),
             FaultSpec(jobs[0].job_id, 2, "exit", exit_code=23),
             FaultSpec(jobs[1].job_id, 1, "stall", seconds=60.0),
@@ -167,7 +167,7 @@ class TestFullHarness:
         """Quarantine docs written by a parallel run drive the resume."""
         jobs = harness_jobs(4)
         doomed = jobs[1].job_id
-        plan = FaultPlan.build(
+        plan = RunnerFaultPlan.build(
             FaultSpec(doomed, 1, "exit"), FaultSpec(doomed, 2, "exit")
         )
         retry = RetryPolicy(max_attempts=2, backoff_seconds=0.01, jitter=0.0,

@@ -1,0 +1,51 @@
+"""Fixtures for the service tests: in-process servers on loopback sockets."""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.runtime.supervision import RetryPolicy
+from repro.service import ServerConfig, ServiceClient, SimulationServer
+
+#: Fast client for tests: short reconnect schedule so a genuinely dead
+#: server fails the test in ~a second instead of half a minute.
+TEST_RECONNECT = RetryPolicy(
+    max_attempts=5, backoff_seconds=0.02, backoff_multiplier=2.0, jitter=0.1
+)
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A factory for started in-process servers (all stopped at teardown)."""
+    servers = []
+
+    def start(**overrides):
+        config = ServerConfig(service_dir=tmp_path / "svc", **overrides)
+        server = SimulationServer(config)
+        server.start()
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        with contextlib.suppress(Exception):
+            server.stop()
+
+
+@pytest.fixture
+def connect():
+    """A factory for clients against a started server (closed at teardown)."""
+    clients = []
+
+    def make(server, client_id="test-client", **overrides):
+        host, port = server.address
+        overrides.setdefault("reconnect", TEST_RECONNECT)
+        client = ServiceClient(host, port, client_id=client_id, **overrides)
+        clients.append(client)
+        return client
+
+    yield make
+    for client in clients:
+        client.close()

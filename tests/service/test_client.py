@@ -1,0 +1,116 @@
+"""Client resilience: deterministic backoff, reconnect, restart-surviving waits.
+
+These tests restart in-process servers underneath a live client — same
+service directory, same port — and assert the client's view never
+glitches: requests are retried against the new incarnation, resubmission
+is a no-op, and ``wait()`` returns the same completions an uninterrupted
+server would have delivered.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceUnavailable
+from repro.runtime import replica_jobs
+from repro.runtime.supervision import RetryPolicy
+from repro.service import ServerConfig, ServiceClient, SimulationServer
+
+from conftest import TEST_RECONNECT
+
+
+def make_jobs(replicas=2, iterations=400):
+    return replica_jobs(n=16, lam=4.0, iterations=iterations, seed=21, replicas=replicas)
+
+
+def test_reconnect_backoff_is_deterministic():
+    policy = RetryPolicy(max_attempts=6, backoff_seconds=0.05, jitter=0.2, seed=3)
+    schedule_a = [policy.backoff_before(k, "reconnect:client-a") for k in range(1, 7)]
+    schedule_b = [policy.backoff_before(k, "reconnect:client-a") for k in range(1, 7)]
+    assert schedule_a == schedule_b  # no live RNG anywhere
+    assert schedule_a[0] == 0.0  # first attempt is immediate
+    assert all(later > earlier for earlier, later in zip(schedule_a[1:], schedule_a[2:]))
+    # A different client key jitters differently (no thundering herd).
+    other = [policy.backoff_before(k, "reconnect:client-b") for k in range(1, 7)]
+    assert other != schedule_a
+
+
+def test_unreachable_server_raises_service_unavailable():
+    client = ServiceClient(
+        "127.0.0.1",
+        1,  # reserved port, nothing listens
+        reconnect=RetryPolicy(max_attempts=3, backoff_seconds=0.01, jitter=0.0),
+    )
+    with pytest.raises(ServiceUnavailable) as excinfo:
+        client.status()
+    assert excinfo.value.attempts == 3
+
+
+def test_client_survives_server_restart_between_requests(tmp_path, connect):
+    config = ServerConfig(service_dir=tmp_path / "svc")
+    first = SimulationServer(config)
+    host, port = first.start()
+    client = ServiceClient(host, port, reconnect=TEST_RECONNECT)
+    jobs = make_jobs(replicas=2)
+    client.submit(jobs[0])
+    client.wait([jobs[0].job_id], timeout=60)
+    first.stop()
+
+    # Same directory, same port: the next incarnation.
+    second = SimulationServer(ServerConfig(service_dir=tmp_path / "svc", port=port))
+    second.start()
+    try:
+        # The dead socket is discovered and replaced transparently.
+        reply = client.status(jobs[0].job_id)
+        assert reply["state"] == "completed"
+        assert client.welcome["jobs_completed_on_disk"] == 1
+        # Resubmission of the completed job is an idempotent no-op.
+        ack = client.submit(jobs[0])
+        assert ack["duplicate"] is True and ack["state"] == "completed"
+        # And its result is still bit-identical from the checkpoint.
+        result = client.result(jobs[0].job_id)
+        assert result.job.job_id == jobs[0].job_id
+    finally:
+        second.stop()
+        client.close()
+
+
+def test_wait_survives_restart_mid_ensemble(tmp_path):
+    """Kill the server while wait() is blocked; a restart completes the wait."""
+    jobs = make_jobs(replicas=4, iterations=300_000)
+    config = ServerConfig(service_dir=tmp_path / "svc", batch_limit=1)
+    first = SimulationServer(config)
+    host, port = first.start()
+    client = ServiceClient(
+        host,
+        port,
+        reconnect=RetryPolicy(max_attempts=10, backoff_seconds=0.05, jitter=0.1),
+    )
+    for job in jobs:
+        client.submit(job)
+
+    states = {}
+    error = []
+
+    def waiter():
+        try:
+            states.update(client.wait([j.job_id for j in jobs], timeout=120))
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            error.append(exc)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    # Stop the first incarnation while jobs are still running.
+    first.stop()
+    second = SimulationServer(ServerConfig(service_dir=tmp_path / "svc", port=port))
+    second.start()
+    try:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "wait() never completed after the restart"
+        assert not error, error
+        assert states == {job.job_id: "completed" for job in jobs}
+    finally:
+        second.stop()
+        client.close()

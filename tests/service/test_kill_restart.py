@@ -1,0 +1,181 @@
+"""Kill/restart injection harness: the service's robustness contract, pinned.
+
+A subprocess server is ``os._exit``-killed at 22 seeded-random points
+mid-ensemble — after the N-th committed execution (modeling a power cut
+at the worst instant: result committed, nobody told) and after the N-th
+accepted submission *before its acknowledgement* (the idempotent-
+resubmission window).  One blocking client drives a 64-job ensemble
+straight through every crash.  The assertions are the acceptance
+criteria verbatim:
+
+* the final :class:`ResultsTable` is bit-identical (modulo wall clock)
+  to an uninterrupted direct :class:`EnsembleRunner` run;
+* zero lost completed jobs, and **no completed job ever re-executes** —
+  proven against the fsynced execution log every server generation
+  appends to (each job id may appear at most once across all
+  generations);
+* the final server generation drains gracefully on SIGTERM.
+
+Slow lane: ~22 interpreter restarts plus the ensemble itself.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import replica_jobs, run_ensemble
+from repro.runtime.supervision import RetryPolicy
+from repro.service import KILL_EXIT_CODE, ServiceClient
+
+pytestmark = pytest.mark.slow
+
+JOBS = 64
+N = 20
+ITERATIONS = 300_000
+SEED = 2016
+
+#: Seeded, reproducible kill schedule: 8 submission-window kills first
+#: (they need fresh submissions to trigger), then 14 execution kills.
+#: 22 kill points >= the 20 the acceptance criterion demands.
+def kill_schedule():
+    rng = random.Random(SEED)
+    submits = [("submit", rng.randint(1, 2)) for _ in range(8)]
+    execs = [("exec", rng.randint(1, 2)) for _ in range(14)]
+    return submits + execs
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def start_server(tmp_path, port, generation, kill=None, env=None):
+    argv = [
+        sys.executable, "-m", "repro.service",
+        "--service-dir", str(tmp_path / "svc"),
+        "--port", str(port),
+        "--generation", str(generation),
+        "--execution-log", str(tmp_path / "executions.log"),
+        "--queue-capacity", "128",
+        "--client-quota", "128",
+    ]
+    if kill is not None:
+        mode, count = kill
+        flag = "--kill-after-executions" if mode == "exec" else "--kill-after-submissions"
+        argv += [flag, str(count)]
+    return subprocess.Popen(
+        argv,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def wait_listening(port, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection(("127.0.0.1", port), timeout=0.2).close()
+            return
+        except OSError:
+            time.sleep(0.05)
+    raise TimeoutError(f"no server listening on :{port} within {timeout}s")
+
+
+def test_kill_restart_reconverges_bit_identical(tmp_path):
+    jobs = replica_jobs(n=N, lam=4.0, iterations=ITERATIONS, seed=SEED, replicas=JOBS)
+    schedule = kill_schedule()
+    assert len(schedule) >= 20
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    port = free_port()
+
+    # The client rides through every restart on deterministic backoff.
+    client = ServiceClient(
+        "127.0.0.1",
+        port,
+        client_id="harness",
+        reconnect=RetryPolicy(
+            max_attempts=14, backoff_seconds=0.05, backoff_multiplier=2.0, jitter=0.1
+        ),
+    )
+    outcome = {}
+
+    def drive():
+        try:
+            outcome["run"] = client.run_jobs(jobs, timeout=600, max_busy_retries=10_000)
+        except BaseException as exc:
+            outcome["error"] = exc
+
+    first = start_server(tmp_path, port, generation=0, kill=schedule[0], env=env)
+    wait_listening(port)
+    driver = threading.Thread(target=drive)
+    driver.start()
+
+    kills = 0
+    proc = first
+    try:
+        for generation, kill in enumerate(schedule[1:], start=1):
+            returncode = proc.wait(timeout=120)
+            assert returncode == KILL_EXIT_CODE, (
+                f"generation {generation - 1} exited {returncode}, expected "
+                f"harness kill; stderr:\n{proc.stderr.read()}"
+            )
+            kills += 1
+            proc = start_server(tmp_path, port, generation=generation, kill=kill, env=env)
+        # The last scheduled kill, then the clean final generation.
+        returncode = proc.wait(timeout=120)
+        assert returncode == KILL_EXIT_CODE, proc.stderr.read()
+        kills += 1
+        proc = start_server(tmp_path, port, generation=len(schedule), kill=None, env=env)
+        wait_listening(port)
+
+        driver.join(timeout=300)
+        assert not driver.is_alive(), "client never finished after the final restart"
+        assert "error" not in outcome, outcome.get("error")
+
+        # Graceful SIGTERM drain of the survivor.
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        client.close()
+
+    assert kills == len(schedule) >= 20
+
+    # --- Zero lost jobs, bit-identical reconvergence ------------------- #
+    run = outcome["run"]
+    assert len(run.results) == JOBS and not run.failures
+    direct = run_ensemble(jobs)
+    strip = lambda rows: [
+        {k: v for k, v in row.items() if k != "wall_seconds"} for row in rows
+    ]
+    assert strip(run.table.rows) == strip(direct.table.rows)
+
+    # --- No completed job ever re-executed ----------------------------- #
+    # Every committed execution appends one fsynced "<generation> <job_id>"
+    # line *before* any kill check; a completed job re-executing in a
+    # later generation would have to append a second line.
+    log_lines = (tmp_path / "executions.log").read_text().splitlines()
+    executed = Counter(line.split()[1] for line in log_lines if line.strip())
+    repeats = {job_id: count for job_id, count in executed.items() if count > 1}
+    assert not repeats, f"completed jobs re-executed: {repeats}"
+    # And the log spans many generations (the kills really interleaved).
+    generations_seen = {int(line.split()[0]) for line in log_lines if line.strip()}
+    assert len(generations_seen) >= 5

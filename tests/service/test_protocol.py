@@ -1,0 +1,152 @@
+"""Wire-protocol unit tests over socketpairs: framing, negotiation, rejection.
+
+The contract under test is the recoverable/fatal split: a malformed
+*payload* inside a well-framed message must be answerable (the server
+keeps the connection), while a broken *framing* layer must be fatal —
+after a truncated prefix or mid-frame EOF the stream cannot be
+resynchronized.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import protocol
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+def test_round_trip(pair):
+    left, right = pair
+    frame = {"type": "status", "job_id": "replica-lam4-r0", "nested": {"a": [1, 2]}}
+    protocol.send_frame(left, frame)
+    assert protocol.read_frame(right) == frame
+
+
+def test_clean_eof_reads_as_none(pair):
+    left, right = pair
+    left.close()
+    assert protocol.read_frame(right) is None
+
+
+def test_eof_inside_prefix_is_fatal(pair):
+    left, right = pair
+    left.sendall(b"\x00\x00")  # half a length prefix
+    left.close()
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.read_frame(right)
+    assert not excinfo.value.recoverable
+
+
+def test_eof_inside_payload_is_fatal(pair):
+    left, right = pair
+    payload = protocol.encode_frame({"type": "status"})
+    left.sendall(payload[:-3])  # drop the frame's tail
+    left.close()
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.read_frame(right)
+    assert not excinfo.value.recoverable
+
+
+def test_zero_length_frame_is_fatal(pair):
+    left, right = pair
+    left.sendall(struct.pack(">I", 0))
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.read_frame(right)
+    assert not excinfo.value.recoverable
+
+
+def test_oversized_length_prefix_is_fatal(pair):
+    left, right = pair
+    left.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.read_frame(right)
+    assert not excinfo.value.recoverable
+    assert "corrupt length prefix" in str(excinfo.value)
+
+
+def test_invalid_json_is_recoverable(pair):
+    left, right = pair
+    body = b"{ not json"
+    left.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.read_frame(right)
+    assert excinfo.value.recoverable
+    # The framing layer survived: a following valid frame still reads.
+    protocol.send_frame(left, {"type": "status"})
+    assert protocol.read_frame(right) == {"type": "status"}
+
+
+def test_non_object_json_is_recoverable(pair):
+    left, right = pair
+    body = b'[1, 2, 3]'
+    left.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.read_frame(right)
+    assert excinfo.value.recoverable
+
+
+def test_oversized_outgoing_frame_refused():
+    with pytest.raises(ProtocolError):
+        protocol.encode_frame({"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)})
+
+
+# --------------------------------------------------------------------- #
+# Request validation
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "frame",
+    [
+        {},  # no type
+        {"type": 7},  # non-string type
+        {"type": "reboot"},  # unknown type
+        {"type": "hello"},  # no versions
+        {"type": "hello", "versions": "1"},  # versions not a list
+        {"type": "hello", "versions": [1, "x"]},  # non-integer version
+        {"type": "submit"},  # no job
+        {"type": "submit", "job": "replica-0"},  # job not an object
+        {"type": "fetch"},  # no job_id
+        {"type": "cancel", "job_id": 3},  # job_id not a string
+    ],
+)
+def test_validate_request_rejects_recoverably(frame):
+    with pytest.raises(ProtocolError) as excinfo:
+        protocol.validate_request(frame)
+    assert excinfo.value.recoverable
+
+
+@pytest.mark.parametrize(
+    "frame, expected",
+    [
+        ({"type": "hello", "versions": [1]}, "hello"),
+        ({"type": "submit", "job": {"job_id": "a"}}, "submit"),
+        ({"type": "status"}, "status"),
+        ({"type": "status", "job_id": "a"}, "status"),
+        ({"type": "fetch", "job_id": "a"}, "fetch"),
+        ({"type": "cancel", "job_id": "a"}, "cancel"),
+        ({"type": "subscribe"}, "subscribe"),
+        ({"type": "drain"}, "drain"),
+    ],
+)
+def test_validate_request_accepts(frame, expected):
+    assert protocol.validate_request(frame) == expected
+
+
+# --------------------------------------------------------------------- #
+# Version negotiation
+# --------------------------------------------------------------------- #
+def test_negotiation_picks_highest_shared():
+    assert protocol.negotiate_version([1]) == 1
+    assert protocol.negotiate_version([1, 2, 99]) == 1
+    assert protocol.negotiate_version([0, 99]) is None
+    assert protocol.negotiate_version([]) is None
