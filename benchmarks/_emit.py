@@ -13,7 +13,8 @@ benchmark, plus a ``_meta`` block — so any later tooling (plots,
 regression gates) can consume it without a schema migration.
 
 The ledger also defends itself: overwriting an entry with a throughput
-number (any ``*_per_second`` field, or a ``speedup`` variant) more than
+number (any ``*_per_second`` or ``*it_per_s*`` field, or a ``speedup``
+variant) more than
 30% below the committed value raises :class:`BenchRegressionError`
 instead of silently rewriting the perf trajectory.  Pass ``force=True``
 (or run with ``--force`` on the command line) after confirming the
@@ -48,12 +49,14 @@ def _is_throughput_key(key: str) -> bool:
     The rule, pinned by ``tests/test_bench_emit.py``: any key containing
     ``_per_second`` (``iterations_per_second``, ``activations_per_second``,
     prefixed variants like ``fast_activations_per_second`` and suffixed
-    ones like ``iterations_per_second_n1000``), plus ``speedup`` and its
-    ``speedup_*`` / ``*_speedup`` variants.  Parameter-ish fields
-    (``n``, ``seconds``, ...) are never guarded.
+    ones like ``iterations_per_second_n1000``) or the short form
+    ``it_per_s`` (the sharded-engine rows: ``sharded_it_per_s_n100000``),
+    plus ``speedup`` and its ``speedup_*`` / ``*_speedup`` variants.
+    Parameter-ish fields (``n``, ``seconds``, ...) are never guarded.
     """
     return (
         "_per_second" in key
+        or "it_per_s" in key
         or key == "speedup"
         or key.startswith("speedup_")
         or key.endswith("_speedup")

@@ -19,8 +19,9 @@ import time
 import pytest
 
 import _emit
+from _starts import compact_disc
 from repro.amoebot.system import AmoebotSystem
-from repro.core.fast_chain import FastCompressionChain
+from repro.core.fast_chain import FastCompressionChain, OccupancyGrid
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.core.moves import enumerate_valid_moves
 from repro.lattice.shapes import line, random_connected, spiral
@@ -95,6 +96,27 @@ def test_fast_engine_speedup_at_n1000():
     assert speedup >= 10.0, (
         f"fast engine is only {speedup:.1f}x the reference at n=1000 "
         f"({fast_rate:.0f} vs {reference_rate:.0f} iterations/sec)"
+    )
+
+
+def test_occupancy_grid_recenter_reuse_n100000(benchmark):
+    """The dims-unchanged re-center fast path at n=100k.
+
+    Steady-state re-centers (the bounding box drifts but keeps its size)
+    repaint the existing planes in place instead of reallocating; at
+    n=10^5-10^6 that turns the most common re-center from a
+    window-sized allocation + Python-loop copy into two vectorized
+    scatters, which is what keeps the sharded engine's long runs from
+    stalling on drift."""
+    grid = OccupancyGrid(sorted(compact_disc(100_000).nodes))
+    array_before = grid.array
+    benchmark(grid.recenter)
+    assert grid.array is array_before, "the reuse fast path did not fire"
+    benchmark.extra_info["experiment"] = "grid recenter with buffer reuse (n=100000)"
+    _emit.record(
+        "occupancy_recenter_reuse_n100000",
+        n=100_000,
+        recenters_per_second=1.0 / benchmark.stats.stats.mean,
     )
 
 

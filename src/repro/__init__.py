@@ -50,6 +50,7 @@ from repro.core.kernels import (
     WeightKernel,
 )
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.sharded_chain import ShardedCompressionChain
 from repro.core.vector_chain import VectorCompressionChain
 from repro.algorithms.separation import ColoredConfiguration, SeparationMarkovChain
 from repro.algorithms.shortcut_bridging import (
@@ -71,7 +72,7 @@ from repro.runtime import (
     scaling_time_jobs,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "COMPRESSION_THRESHOLD",
@@ -89,6 +90,7 @@ __all__ = [
     "CompressionTrace",
     "CompressionMarkovChain",
     "FastCompressionChain",
+    "ShardedCompressionChain",
     "VectorCompressionChain",
     "WeightKernel",
     "CompressionKernel",

@@ -39,19 +39,22 @@ from typing import Dict, FrozenSet, Optional, Set
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.kernels import BridgingKernel
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.sharded_chain import ShardedCompressionChain
 from repro.core.vector_chain import VectorCompressionChain
 from repro.errors import AlgorithmError, ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.lattice.triangular import Node, neighbors
 from repro.rng import DEFAULT_DRAW_BLOCK, RandomState
 
-#: The engines a bridging chain can run on.  All three compression
+#: The engines a bridging chain can run on.  All four compression
 #: engines drive the bridging kernel; the vector engine evaluates the
-#: terrain plane inside its numpy pass.
+#: terrain plane inside its numpy pass, and the sharded engine fans
+#: that same evaluation out across grid tiles.
 BRIDGING_ENGINES: Dict[str, type] = {
     "reference": CompressionMarkovChain,
     "fast": FastCompressionChain,
     "vector": VectorCompressionChain,
+    "sharded": ShardedCompressionChain,
 }
 
 
@@ -175,10 +178,14 @@ class BridgingMarkovChain:
     seed:
         Seed or generator for reproducible runs.
     engine:
-        ``"reference"`` (default), ``"fast"`` or ``"vector"``;
-        bit-identical trajectories for equal seeds.
+        ``"reference"`` (default), ``"fast"``, ``"vector"`` or
+        ``"sharded"``; bit-identical trajectories for equal seeds.
     draw_block:
         Block size of the batched draw tape.
+    engine_options:
+        Optional keyword arguments forwarded to the engine constructor
+        (e.g. ``{"tiles": (2, 2), "workers": 4}`` for
+        ``engine="sharded"``); ``None`` forwards nothing.
     """
 
     def __init__(
@@ -190,6 +197,7 @@ class BridgingMarkovChain:
         seed: RandomState = None,
         engine: str = "reference",
         draw_block: int = DEFAULT_DRAW_BLOCK,
+        engine_options: Optional[Dict[str, object]] = None,
     ) -> None:
         try:
             engine_factory = BRIDGING_ENGINES[engine]
@@ -203,9 +211,21 @@ class BridgingMarkovChain:
         self.engine = engine
         self.lam = kernel.lam
         self.gamma = kernel.gamma
-        self.chain = engine_factory(
-            initial, seed=seed, draw_block=draw_block, kernel=kernel
-        )
+        try:
+            self.chain = engine_factory(
+                initial,
+                seed=seed,
+                draw_block=draw_block,
+                kernel=kernel,
+                **(engine_options or {}),
+            )
+        except TypeError as exc:
+            if not engine_options:
+                raise
+            raise ConfigurationError(
+                f"bridging engine {engine!r} rejected engine_options "
+                f"{sorted(engine_options)}: {exc}"
+            ) from None
 
     # ------------------------------------------------------------------ #
     # Observation

@@ -350,30 +350,9 @@ def ensemble_summary_from_stores(
     warming up) are counted as ``missing`` rather than refused, so the
     summary can run while an ensemble is still being written.
     """
-    from repro.io.trace_store import TraceStoreReader, iter_trace_stores
-
-    def readers() -> Iterator[Any]:
-        if isinstance(stores, (str,)) or hasattr(stores, "__fspath__"):
-            yield from iter_trace_stores(stores)
-            return
-        for item in stores:
-            yield item if isinstance(item, TraceStoreReader) else TraceStoreReader(item)
-
-    def meta_key(reader: Any) -> Any:
-        if by is None:
-            return None
-        node: Any = reader.meta
-        for part in by.split("."):
-            if not isinstance(node, dict) or part not in node:
-                raise AnalysisError(
-                    f"store {reader.directory} has no meta key {by!r}"
-                )
-            node = node[part]
-        return node
-
     def items() -> Iterator[Tuple[Any, Optional[float]]]:
-        for reader in readers():
-            group = meta_key(reader)
+        for reader in _store_readers(stores):
+            group = _store_meta_key(reader, by)
             if reader.num_rows == 0:
                 yield group, None
                 continue
@@ -386,3 +365,140 @@ def ensemble_summary_from_stores(
             yield group, float(row[value])
 
     return streaming_ensemble_summary(items(), level=level)
+
+
+def _store_readers(stores: Any) -> Iterator[Any]:
+    """Normalize a store ensemble argument to an iterator of readers.
+
+    Accepts an ensemble root directory (string or path), or an iterable
+    mixing :class:`~repro.io.trace_store.TraceStoreReader` objects and
+    store directories — the contract shared by every ``*_from_stores``
+    entry point in this module.
+    """
+    from repro.io.trace_store import TraceStoreReader, iter_trace_stores
+
+    if isinstance(stores, (str,)) or hasattr(stores, "__fspath__"):
+        yield from iter_trace_stores(stores)
+        return
+    for item in stores:
+        yield item if isinstance(item, TraceStoreReader) else TraceStoreReader(item)
+
+
+def _store_meta_key(reader: Any, by: Optional[str]) -> Any:
+    """Resolve a (possibly dotted) manifest-meta grouping key for a store."""
+    if by is None:
+        return None
+    node: Any = reader.meta
+    for part in by.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise AnalysisError(f"store {reader.directory} has no meta key {by!r}")
+        node = node[part]
+    return node
+
+
+def resampled_ci_from_stores(
+    stores: Any,
+    value: str,
+    by: Optional[str] = None,
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: RandomState = 0,
+    burn_in: float = 0.0,
+) -> List[Dict[str, Any]]:
+    """Bootstrap CIs over the *full recorded columns* of on-disk trace stores.
+
+    Post-hoc re-analysis of an archived ensemble:
+    :func:`ensemble_summary_from_stores` summarizes each run by the final
+    recorded row alone, which answers "where did the chains end up" but
+    wastes every earlier sample.  This function instead reduces each
+    store to the **time-average** of the requested column over its whole
+    trace (optionally discarding a ``burn_in`` fraction of the earliest
+    rows), then resamples *stores* with replacement for a percentile
+    bootstrap interval of that per-run average — runs are the independent
+    unit, so this is the statistically honest resampling axis; the
+    correlated samples within one trace are never bootstrapped across.
+
+    The per-store reduction streams segment by segment through
+    :meth:`StreamingMoments.extend`, so memory stays bounded by one
+    segment regardless of trace length; the agreement test pins the
+    streamed average to the materialized ``reader.column(...)`` average.
+
+    Parameters
+    ----------
+    stores:
+        As for :func:`ensemble_summary_from_stores`: an ensemble root
+        directory, or an iterable of readers / store directories.
+    value:
+        Trace column to average per store, e.g. ``"alpha"``.
+    by:
+        Optional manifest-meta grouping key (dotted paths reach nested
+        job fields, e.g. ``"job.gamma"``).
+    level, resamples, seed:
+        Percentile-bootstrap parameters, as for
+        :func:`bootstrap_confidence_interval`.  The interval is attached
+        when a group has at least two contributing stores.
+    burn_in:
+        Fraction in ``[0, 1)`` of each store's recorded rows to discard
+        from the front before averaging (equilibration cut).
+
+    Returns
+    -------
+    One row per group, in first-appearance order, shaped exactly like
+    :func:`ensemble_summary` rows: ``group``, ``count``, ``missing``,
+    ``mean``, ``std_error``, ``ci_low``/``ci_high``.  Stores with no
+    rows surviving the burn-in cut count as ``missing``.
+    """
+    if not 0 < level < 1:
+        raise AnalysisError("level must lie in (0, 1)")
+    if not 0 <= burn_in < 1:
+        raise AnalysisError(f"burn_in must lie in [0, 1), got {burn_in}")
+    store_means: Dict[Any, List[float]] = {}
+    missing: Dict[Any, int] = {}
+    for reader in _store_readers(stores):
+        group = _store_meta_key(reader, by)
+        if group not in store_means:
+            store_means[group] = []
+            missing[group] = 0
+        rows = reader.num_rows
+        skip = int(burn_in * rows)
+        if rows - skip <= 0:
+            missing[group] += 1
+            continue
+        if value not in reader.column_names:
+            raise AnalysisError(
+                f"store {reader.directory} has no column {value!r} "
+                f"(columns: {reader.column_names})"
+            )
+        moments = StreamingMoments()
+        seen = 0
+        for segment in reader.iter_column(value):
+            chunk = np.asarray(segment, dtype=float)
+            if seen < skip:
+                chunk = chunk[skip - seen :]
+            seen += len(segment)
+            if chunk.size:
+                moments.extend(chunk)
+        store_means[group].append(moments.mean)
+    summaries: List[Dict[str, Any]] = []
+    for group, means in store_means.items():
+        summary: Dict[str, Any] = {
+            "group": group,
+            "count": len(means),
+            "missing": missing[group],
+            "mean": None,
+            "std_error": None,
+            "ci_low": None,
+            "ci_high": None,
+        }
+        if means:
+            data = np.asarray(means, dtype=float)
+            summary["mean"] = float(data.mean())
+            if data.size >= 2:
+                summary["std_error"] = float(data.std(ddof=1) / np.sqrt(data.size))
+                low, high = bootstrap_confidence_interval(
+                    data, level=level, resamples=resamples, seed=seed
+                )
+                summary["ci_low"] = low
+                summary["ci_high"] = high
+        summaries.append(summary)
+    return summaries

@@ -211,14 +211,42 @@ class OccupancyGrid:
             self.cells[self.flat_index(node)] = 0
 
     def recenter(self, extra: Sequence[Node] = (), margin: int = DEFAULT_GRID_MARGIN) -> None:
-        """Reallocate the window around the current occupancy plus ``extra`` nodes.
+        """Re-center the window around the current occupancy plus ``extra`` nodes.
 
-        All derived state (offsets, guard band, numpy view) is rebuilt;
-        holders of raw references to :attr:`cells` et al. must re-read
-        them afterwards.
+        When the new window's dimensions equal the old ones — the common
+        case in steady state, where the bounding box drifts but barely
+        changes size — the existing buffers are reused: the cell plane is
+        zeroed and repainted in place and only the origin moves, so
+        :attr:`cells`, :attr:`array` and the offset tuples all remain
+        valid objects (re-centering is a pure occupancy rewrite).  When
+        the dimensions change, everything is reallocated and holders of
+        raw references to :attr:`cells` et al. must re-read them
+        afterwards; callers that cannot tolerate the distinction should
+        re-read unconditionally.
         """
-        occupied = self.occupied_nodes()
-        fresh = OccupancyGrid(occupied + list(extra), margin=margin)
+        flats = np.flatnonzero(self.array.reshape(-1))
+        ys, xs = np.divmod(flats, self.width)
+        xs += self.origin_x
+        ys += self.origin_y
+        extra = list(extra)
+        if flats.size:
+            min_x, max_x = int(xs.min()), int(xs.max())
+            min_y, max_y = int(ys.min()), int(ys.max())
+            for x, y in extra:
+                min_x, max_x = min(min_x, x), max(max_x, x)
+                min_y, max_y = min(min_y, y), max(max_y, y)
+            width = (max_x - min_x + 1) + 2 * margin
+            height = (max_y - min_y + 1) + 2 * margin
+            if width == self.width and height == self.height:
+                # In-place fast path: same window size, new origin.
+                self.origin_x = min_x - margin
+                self.origin_y = min_y - margin
+                new_flats = (ys - self.origin_y) * width + (xs - self.origin_x)
+                self.array.fill(0)
+                self.array.reshape(-1)[new_flats] = 1
+                return
+        occupied = [(int(x), int(y)) for x, y in zip(xs, ys)]
+        fresh = OccupancyGrid(occupied + extra, margin=margin)
         occupied_set = set(occupied)
         for node in extra:
             if node not in occupied_set:

@@ -1,0 +1,296 @@
+"""The spatially-sharded multi-core engine for Algorithm M.
+
+:class:`ShardedCompressionChain` is the fourth engine behind the
+differential-testing contract.  It keeps the vector engine's
+pass structure — snapshot evaluation, conflict cut, sequential commit
+walk — and parallelizes the *evaluation* half across a
+:class:`~repro.lattice.tiling.TiledGrid` of rectangular tiles:
+
+1. each pass's proposals are partitioned by the tile that owns their
+   source cell (one vectorized ``divmod`` + argsort over the tape slice);
+2. every tile's subset is evaluated concurrently against the shared grid
+   snapshot by the vector engine's own pure ``_evaluate_*`` methods —
+   each worker reads only cells inside its tile's halo window
+   (:meth:`~repro.lattice.tiling.TiledGrid.halo_bounds`, radius >= the
+   move tables' 2-cell reach) and writes verdicts at its own disjoint
+   tape positions;
+3. the tentatively-accepted positions from all tiles are merged back
+   into global tape order, and the *inherited* commit walk reconciles
+   them exactly as the vector engine would — the first-toucher stamp
+   planes do not care which tile an acceptance came from, so proposals
+   that interact across a tile boundary (both inside some halo) are
+   re-resolved scalar-wise in tape order like any other conflict.
+
+Why the trajectory is bit-identical: evaluation is a pure function of
+the snapshot, so *any* partition of a pass evaluates to the same verdict
+per proposal; sorting the merged acceptances by tape position erases the
+partition (and thread completion order) entirely, and everything after
+that point is the vector engine's own sequential code.  Determinism
+therefore does not depend on thread scheduling, tile counts, halo width
+or worker counts — all of which the equivalence tests sweep.
+
+Threads versus processes: workers are a ``ThreadPoolExecutor`` sharing
+the byte planes zero-copy.  Measured against a
+``multiprocessing.shared_memory`` sketch, threads win at these pass
+sizes (<= 16K proposals): the per-pass fork/pickle handshake costs more
+than a whole numpy pass, while the gather/compare kernels the evaluation
+spends its time in release the GIL only partially — so thread scaling is
+sublinear but positive, and the crossover where process pools would win
+sits far above the ``_MAX_PASS`` tape window.  Workers default to the
+machine's core count; the scaling-vs-cores curve is recorded by
+``benchmarks/bench_sharded_chain.py`` and the >= 2x-vs-vector gate is
+enforced on hosts with >= 4 cores (determinism is checked everywhere).
+
+Select it with ``engine="sharded"`` on
+:class:`~repro.core.compression.CompressionSimulation`,
+:class:`~repro.algorithms.separation.SeparationMarkovChain` or
+:class:`~repro.algorithms.shortcut_bridging.BridgingMarkovChain`, and
+shape it with ``engine_options={"tiles": ..., "halo": ..., "workers":
+...}`` (also accepted by the runtime's job records).  Like every engine
+it must hold the lockstep differential harness, the randomized invariant
+suite and the committed golden traces bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.lattice.configuration import ParticleConfiguration
+from repro.lattice.tiling import MIN_HALO, TiledGrid
+from repro.core.kernels import WeightKernel
+from repro.core.vector_chain import VectorCompressionChain
+from repro.rng import DEFAULT_DRAW_BLOCK, RandomState
+
+#: Smallest pass worth partitioning: below this the per-tile numpy calls
+#: cost more than they parallelize (the controller in ``run`` rarely
+#: shrinks passes this far outside pathological conflict storms).
+_MIN_SHARD_PASS = 1024
+
+
+def _auto_tile_counts(width: int, height: int, wanted: int) -> Tuple[int, int]:
+    """Pick a tile layout for a grid window: ``wanted`` tiles rounded up to
+    a power of two (at least 2x2), with the longer grid axis cut more."""
+    target = 4
+    while target < wanted:
+        target *= 2
+    # Split the power of two into the most square factor pair, then give
+    # the larger factor to the longer grid axis.
+    a = 1
+    while a * a < target:
+        a *= 2
+    b = target // a
+    if width >= height:
+        tiles_x, tiles_y = max(a, b), min(a, b)
+    else:
+        tiles_x, tiles_y = min(a, b), max(a, b)
+    # Degenerate windows (thinner than the tile count) fall back to
+    # fewer tiles along the thin axis; correctness never depends on this.
+    return min(tiles_x, max(width // 2, 1)), min(tiles_y, max(height // 2, 1))
+
+
+class ShardedCompressionChain(VectorCompressionChain):
+    """Algorithm M with tile-parallel snapshot evaluation.
+
+    Drop-in compatible with the other engines: same counters, same
+    :class:`~repro.core.markov_chain.StepResult` per proposal from
+    ``step()``, and — given equal seeds and draw blocks — the same
+    trajectory bit for bit, independent of ``tiles``/``halo``/``workers``.
+
+    Parameters
+    ----------
+    initial, lam, seed, draw_block, kernel:
+        As for :class:`~repro.core.vector_chain.VectorCompressionChain`;
+        the same three kernel modes are supported.
+    tiles:
+        Tile layout: ``None`` (default) picks a layout from the grid
+        window and worker count (at least 2x2), an ``int`` asks for that
+        many tiles total, and a ``(tiles_x, tiles_y)`` pair is used
+        as-is.  Layout never affects the trajectory.
+    halo:
+        Halo width in cells, at least
+        :data:`~repro.lattice.tiling.MIN_HALO` (= 2, the move tables'
+        read radius).  Wider halos only loosen the commuting set the
+        docs describe; reads are bounded either way.
+    workers:
+        Evaluation thread count; defaults to ``os.cpu_count()``.
+        ``workers=1`` evaluates tiles serially on the calling thread
+        (still through the tiled path, which the equivalence tests use
+        to pin partition invariance without scheduler noise).
+    """
+
+    def __init__(
+        self,
+        initial: ParticleConfiguration,
+        lam: Optional[float] = None,
+        seed: RandomState = None,
+        draw_block: int = DEFAULT_DRAW_BLOCK,
+        kernel: Optional["WeightKernel"] = None,
+        tiles=None,
+        halo: int = MIN_HALO,
+        workers: Optional[int] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be positive, got {workers}")
+        if halo < MIN_HALO:
+            raise ConfigurationError(
+                f"halo must be at least {MIN_HALO} (the move tables read up to "
+                f"{MIN_HALO} cells from a proposal's source), got {halo}"
+            )
+        self._tiles_spec = tiles
+        self._halo = int(halo)
+        self._workers = int(workers)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # Set before super().__init__: the base constructor ends with
+        # _bind_grid(), which builds the tiling for the initial window.
+        super().__init__(initial, lam=lam, seed=seed, draw_block=draw_block, kernel=kernel)
+
+    # ------------------------------------------------------------------ #
+    # Tiling
+    # ------------------------------------------------------------------ #
+    def _resolve_tile_counts(self, width: int, height: int) -> Tuple[int, int]:
+        spec = self._tiles_spec
+        if spec is None:
+            # Twice as many tiles as workers, so stragglers rebalance.
+            return _auto_tile_counts(width, height, 2 * self._workers)
+        if isinstance(spec, int):
+            if spec < 1:
+                raise ConfigurationError(f"tiles must be positive, got {spec}")
+            return _auto_tile_counts(width, height, spec)
+        try:
+            tiles_x, tiles_y = spec
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"tiles must be None, an int, or a (tiles_x, tiles_y) pair; "
+                f"got {spec!r}"
+            ) from None
+        return int(tiles_x), int(tiles_y)
+
+    def _bind_grid(self) -> None:
+        super()._bind_grid()
+        grid = self._grid
+        tiles_x, tiles_y = self._resolve_tile_counts(grid.width, grid.height)
+        self._tiling = TiledGrid(
+            grid.width, grid.height, tiles_x, tiles_y, halo=self._halo
+        )
+
+    def _tile_groups(self, sources: np.ndarray) -> Optional[List[np.ndarray]]:
+        """Partition pass positions by owning tile, or ``None`` when the
+        pass is too small (or lands in one tile) to be worth fanning out.
+        Each group is ascending in tape position (stable argsort)."""
+        if sources.size < _MIN_SHARD_PASS or self._tiling.tile_count == 1:
+            return None
+        owners = self._tiling.owner_of(sources)
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        cuts = np.flatnonzero(sorted_owners[1:] != sorted_owners[:-1]) + 1
+        if cuts.size == 0:
+            return None
+        return np.split(order, cuts)
+
+    def _map_tiles(self, task, groups: List[np.ndarray]) -> list:
+        """Run one evaluation task per tile group; merge order is the
+        group order (results are re-sorted by tape position anyway)."""
+        if self._workers == 1:
+            return [task(group) for group in groups]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers, thread_name_prefix="shard-eval"
+            )
+        return list(self._executor.map(task, groups))
+
+    # ------------------------------------------------------------------ #
+    # Tile-parallel evaluation (the only override: commits are inherited)
+    # ------------------------------------------------------------------ #
+    def _evaluate_edge(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        groups = self._tile_groups(sources)
+        if groups is None:
+            return super()._evaluate_edge(sources, targets, rings, uniforms)
+        evaluate = super()._evaluate_edge
+        coded = np.empty(sources.size, dtype=np.int8)
+
+        def task(group: np.ndarray):
+            sub_coded, sub_positions, sub_deltas = evaluate(
+                sources[group], targets[group], rings[group], uniforms[group]
+            )
+            coded[group] = sub_coded  # disjoint tape positions per tile
+            return group[sub_positions], sub_deltas
+
+        results = self._map_tiles(task, groups)
+        positions = np.concatenate([accepted for accepted, _ in results])
+        deltas = np.concatenate([deltas for _, deltas in results])
+        # Tape order, not tile order: from here on the partition is gone.
+        order = np.argsort(positions, kind="stable")
+        return coded, positions[order], deltas[order]
+
+    def _evaluate_site(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        groups = self._tile_groups(sources)
+        if groups is None:
+            return super()._evaluate_site(sources, targets, rings, uniforms)
+        evaluate = super()._evaluate_site
+        coded = np.empty(sources.size, dtype=np.int8)
+
+        def task(group: np.ndarray):
+            sub_coded, sub_positions, sub_deltas = evaluate(
+                sources[group], targets[group], rings[group], uniforms[group]
+            )
+            coded[group] = sub_coded
+            return group[sub_positions], sub_deltas
+
+        results = self._map_tiles(task, groups)
+        positions = np.concatenate([accepted for accepted, _ in results])
+        deltas = np.concatenate([deltas for _, deltas in results])
+        order = np.argsort(positions, kind="stable")
+        return coded, positions[order], deltas[order]
+
+    def _evaluate_color(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        uniforms: np.ndarray,
+        swap_attempt: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        groups = self._tile_groups(sources)
+        if groups is None:
+            return super()._evaluate_color(
+                sources, targets, rings, uniforms, swap_attempt
+            )
+        evaluate = super()._evaluate_color
+        outcome = np.empty(sources.size, dtype=np.int8)
+
+        def task(group: np.ndarray):
+            sub_outcome, sub_moves, sub_deltas, sub_swaps = evaluate(
+                sources[group],
+                targets[group],
+                rings[group],
+                uniforms[group],
+                swap_attempt[group],
+            )
+            outcome[group] = sub_outcome
+            return group[sub_moves], sub_deltas, group[sub_swaps]
+
+        results = self._map_tiles(task, groups)
+        moves = np.concatenate([m for m, _, _ in results])
+        deltas = np.concatenate([d for _, d, _ in results])
+        swaps = np.concatenate([s for _, _, s in results])
+        order = np.argsort(moves, kind="stable")
+        return outcome, moves[order], deltas[order], np.sort(swaps)

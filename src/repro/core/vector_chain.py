@@ -93,6 +93,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
 from repro.core.fast_chain import (
+    DEFAULT_GRID_MARGIN,
     FastCompressionChain,
     OccupancyGrid,
     move_tables_array,
@@ -260,15 +261,45 @@ class VectorCompressionChain(FastCompressionChain):
 
     def _reallocate(self) -> None:
         """Re-center the grid, remap the flat position array and rebuild the
-        kernel's auxiliary planes (all vectorized)."""
+        kernel's auxiliary planes (all vectorized).
+
+        Mirrors :meth:`OccupancyGrid.recenter`'s buffer reuse: when the
+        re-centered window keeps its dimensions — the steady-state norm —
+        the occupancy and color planes are rewritten in place, only the
+        origin moves, and every grid-derived cache (offset arrays, scratch
+        planes, read-offset table, the sharded engine's tiling) stays
+        valid, so ``_bind_grid`` is skipped entirely.
+        """
         grid = self._grid
         old_pos = self._pos
         ys, xs = np.divmod(old_pos, grid.width)
         xs = xs + grid.origin_x
         ys = ys + grid.origin_y
+        mode = self._mode
+        margin = DEFAULT_GRID_MARGIN
+        min_x, max_x = int(xs.min()), int(xs.max())
+        min_y, max_y = int(ys.min()), int(ys.max())
+        width = (max_x - min_x + 1) + 2 * margin
+        height = (max_y - min_y + 1) + 2 * margin
+        if width == grid.width and height == grid.height:
+            grid.origin_x = min_x - margin
+            grid.origin_y = min_y - margin
+            new_pos = (ys - grid.origin_y) * width + (xs - grid.origin_x)
+            if mode == "edge_color":
+                old_colors = self._color_arr[old_pos].copy()
+                self._color_arr.fill(0)
+                self._color_arr[new_pos] = old_colors
+            self._cells_flat.fill(0)
+            self._cells_flat[new_pos] = 1
+            if mode == "edge_site":
+                # The terrain plane is a pure function of the window, and
+                # the window (its origin included) just changed.
+                self._site_plane = self._kernel.build_site_plane(grid)
+                self._site_arr = np.frombuffer(self._site_plane, dtype=np.int8)
+            self._pos = new_pos
+            return
         fresh = OccupancyGrid(list(zip(xs.tolist(), ys.tolist())))
         new_pos = (ys - fresh.origin_y) * fresh.width + (xs - fresh.origin_x)
-        mode = self._mode
         if mode == "edge_site":
             # The terrain plane is a pure function of the grid window;
             # ``site_count`` is invariant under re-centering.
@@ -328,6 +359,16 @@ class VectorCompressionChain(FastCompressionChain):
             return self._advance_site(limit)
         return self._advance_color(limit)
 
+    def _refresh_tape_offsets(self, draws) -> None:
+        """Gather the per-proposal direction/ring offsets for the current
+        tape refill.  Offsets depend only on the tape's directions and the
+        grid window: gather them once per refill (or grid reallocation)
+        and slice per pass."""
+        if self._tape_token is not draws.directions:
+            self._tape_token = draws.directions
+            self._tape_direction_offsets = self._direction_offsets_arr[draws.directions]
+            self._tape_ring_offsets = self._ring_offsets_arr[draws.directions]
+
     def _advance_edge(self, limit: int) -> int:
         """The compression (``edge``) pass: acceptance is a pure function
         of the ring mask."""
@@ -337,19 +378,44 @@ class VectorCompressionChain(FastCompressionChain):
         indices = draws.indices[start:stop]
         directions = draws.directions[start:stop]
         uniforms = draws.uniforms[start:stop]
-        if self._tape_token is not draws.directions:
-            # Offsets depend only on the tape's directions and the grid
-            # window: gather them once per refill (or grid reallocation)
-            # and slice per pass.
-            self._tape_token = draws.directions
-            self._tape_direction_offsets = self._direction_offsets_arr[draws.directions]
-            self._tape_ring_offsets = self._ring_offsets_arr[draws.directions]
+        self._refresh_tape_offsets(draws)
 
-        pos = self._pos
-        cells = self._cells_flat
-        sources = pos[indices]
+        sources = self._pos[indices]
         targets = sources + self._tape_direction_offsets[start:stop]
         rings = sources[:, None] + self._tape_ring_offsets[start:stop]
+        coded, accepted_positions, accepted_deltas = self._evaluate_edge(
+            sources, targets, rings, uniforms
+        )
+        return self._commit_edge(
+            limit,
+            indices,
+            directions,
+            uniforms,
+            sources,
+            targets,
+            rings,
+            coded,
+            accepted_positions,
+            accepted_deltas,
+        )
+
+    def _evaluate_edge(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot evaluation of one ``edge`` pass.
+
+        A pure function of the grid snapshot: every proposal's verdict
+        code plus the tentatively-accepted positions and their edge
+        deltas.  Because no state is written, any partition of the
+        proposals evaluates to the same result — the sharded engine
+        overrides exactly this method (and its ``_site``/``_color``
+        siblings) to fan the evaluation out across tiles.
+        """
+        cells = self._cells_flat
         masks = self._cells_unsigned[rings] @ _RING_WEIGHTS
         # One verdict code per proposal: 0 = target occupied, 1 = five
         # neighbors, 2 = property failed, 3 = structurally legal.
@@ -361,8 +427,27 @@ class VectorCompressionChain(FastCompressionChain):
         legal_masks = masks[legal_positions]
         legal_delta = self._nb_after_arr[legal_masks] - self._nb_before_arr[legal_masks]
         metropolis_ok = uniforms[legal_positions] < self._acceptance_arr[legal_delta + 6]
-        accepted_positions = legal_positions[metropolis_ok]
+        return coded, legal_positions[metropolis_ok], legal_delta[metropolis_ok]
 
+    def _commit_edge(
+        self,
+        limit: int,
+        indices: np.ndarray,
+        directions: np.ndarray,
+        uniforms: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        coded: np.ndarray,
+        accepted_positions: np.ndarray,
+        accepted_deltas: np.ndarray,
+    ) -> int:
+        """Commit one evaluated ``edge`` pass: stamp touched cells, screen
+        readers, walk accepted/conflicted events in tape order, tally
+        counters and adapt the pass size.  Strictly sequential — this is
+        the part that restores scalar semantics, shared verbatim by the
+        vector and sharded engines."""
+        pos = self._pos
         consumed = limit
         repairs: List[Tuple[int, int, int]] = []  # (position, snapshot class, true class)
         resolved = 0
@@ -370,9 +455,7 @@ class VectorCompressionChain(FastCompressionChain):
         if accepted_positions.size:
             accepted_list = accepted_positions.tolist()
             accepted_set = set(accepted_list)
-            accepted_delta = dict(
-                zip(accepted_list, legal_delta[metropolis_ok].tolist())
-            )
+            accepted_delta = dict(zip(accepted_list, accepted_deltas.tolist()))
             region = self._region_flag
             first_touch = self._first_touch
             # Touched cells in descending toucher order: the plain fancy
@@ -595,17 +678,44 @@ class VectorCompressionChain(FastCompressionChain):
         indices = draws.indices[start:stop]
         directions = draws.directions[start:stop]
         uniforms = draws.uniforms[start:stop]
-        if self._tape_token is not draws.directions:
-            self._tape_token = draws.directions
-            self._tape_direction_offsets = self._direction_offsets_arr[draws.directions]
-            self._tape_ring_offsets = self._ring_offsets_arr[draws.directions]
+        self._refresh_tape_offsets(draws)
 
-        pos = self._pos
-        cells = self._cells_flat
-        site = self._site_arr
-        sources = pos[indices]
+        sources = self._pos[indices]
         targets = sources + self._tape_direction_offsets[start:stop]
         rings = sources[:, None] + self._tape_ring_offsets[start:stop]
+        coded, accepted_positions, accepted_deltas = self._evaluate_site(
+            sources, targets, rings, uniforms
+        )
+        return self._commit_site(
+            limit,
+            indices,
+            directions,
+            uniforms,
+            sources,
+            targets,
+            rings,
+            coded,
+            accepted_positions,
+            accepted_deltas,
+        )
+
+    def _evaluate_site(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        uniforms: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot evaluation of one ``edge_site`` pass.
+
+        Pure like :meth:`_evaluate_edge` — the terrain plane is static, so
+        the only snapshot state read is occupancy plus the fixed site
+        bytes.  Returns the verdict codes, tentatively-accepted positions
+        and their *edge* deltas (the site delta is recomputed from the
+        static plane at commit time).
+        """
+        cells = self._cells_flat
+        site = self._site_arr
         masks = self._cells_unsigned[rings] @ _RING_WEIGHTS
         coded = self._class_table[masks] * (cells[targets] ^ 1)
         legal_positions = np.flatnonzero(coded == 3)
@@ -618,8 +728,25 @@ class VectorCompressionChain(FastCompressionChain):
         metropolis_ok = uniforms[legal_positions] < self._site_rows_flat[
             (site_delta + 1) * 13 + legal_delta + 6
         ]
-        accepted_positions = legal_positions[metropolis_ok]
+        return coded, legal_positions[metropolis_ok], legal_delta[metropolis_ok]
 
+    def _commit_site(
+        self,
+        limit: int,
+        indices: np.ndarray,
+        directions: np.ndarray,
+        uniforms: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        coded: np.ndarray,
+        accepted_positions: np.ndarray,
+        accepted_deltas: np.ndarray,
+    ) -> int:
+        """Commit one evaluated ``edge_site`` pass.  Strictly sequential,
+        shared verbatim by the vector and sharded engines (see
+        :meth:`_commit_edge`)."""
+        pos = self._pos
         consumed = limit
         repairs: List[Tuple[int, int, int]] = []
         resolved = 0
@@ -628,9 +755,7 @@ class VectorCompressionChain(FastCompressionChain):
         if accepted_positions.size:
             accepted_list = accepted_positions.tolist()
             accepted_set = set(accepted_list)
-            accepted_delta = dict(
-                zip(accepted_list, legal_delta[metropolis_ok].tolist())
-            )
+            accepted_delta = dict(zip(accepted_list, accepted_deltas.tolist()))
             region = self._region_flag
             first_touch = self._first_touch
             descending = accepted_positions[::-1]
@@ -846,20 +971,53 @@ class VectorCompressionChain(FastCompressionChain):
         directions = draws.directions[start:stop]
         uniforms = draws.uniforms[start:stop]
         uniforms2 = draws.uniforms2[start:stop]
-        if self._tape_token is not draws.directions:
-            self._tape_token = draws.directions
-            self._tape_direction_offsets = self._direction_offsets_arr[draws.directions]
-            self._tape_ring_offsets = self._ring_offsets_arr[draws.directions]
+        self._refresh_tape_offsets(draws)
 
-        pos = self._pos
-        cells = self._cells_flat
-        color = self._color_arr
-        neighbor_offsets = self._direction_offsets_arr
-        sources = pos[indices]
+        sources = self._pos[indices]
         targets = sources + self._tape_direction_offsets[start:stop]
         rings = sources[:, None] + self._tape_ring_offsets[start:stop]
         swap_attempt = uniforms2 < self._swap_probability
-        outcome = np.empty(limit, dtype=np.int8)
+        (
+            outcome,
+            accepted_move_positions,
+            accepted_move_deltas,
+            accepted_swap_positions,
+        ) = self._evaluate_color(sources, targets, rings, uniforms, swap_attempt)
+        return self._commit_color(
+            limit,
+            indices,
+            directions,
+            uniforms,
+            swap_attempt,
+            sources,
+            targets,
+            rings,
+            outcome,
+            accepted_move_positions,
+            accepted_move_deltas,
+            accepted_swap_positions,
+        )
+
+    def _evaluate_color(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        uniforms: np.ndarray,
+        swap_attempt: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Snapshot evaluation of one ``edge_color`` pass.
+
+        Pure over the occupancy and color snapshots: returns one outcome
+        code per proposal plus the tentatively-accepted movement positions
+        (with their edge deltas) and swap positions.  Like its ``edge``
+        and ``edge_site`` siblings this is the method the sharded engine
+        overrides to fan the evaluation out across tiles.
+        """
+        cells = self._cells_flat
+        color = self._color_arr
+        neighbor_offsets = self._direction_offsets_arr
+        outcome = np.empty(sources.size, dtype=np.int8)
 
         movement_positions = np.flatnonzero(~swap_attempt)
         masks = self._cells_unsigned[rings[movement_positions]] @ _RING_WEIGHTS
@@ -915,7 +1073,32 @@ class VectorCompressionChain(FastCompressionChain):
         swap_ok = uniforms[viable_positions] < self._swap_acceptance_arr[swap_delta + 10]
         accepted_swap_positions = viable_positions[swap_ok]
         outcome[accepted_swap_positions] = 8
+        return (
+            outcome,
+            accepted_move_positions,
+            legal_delta[metropolis_ok],
+            accepted_swap_positions,
+        )
 
+    def _commit_color(
+        self,
+        limit: int,
+        indices: np.ndarray,
+        directions: np.ndarray,
+        uniforms: np.ndarray,
+        swap_attempt: np.ndarray,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rings: np.ndarray,
+        outcome: np.ndarray,
+        accepted_move_positions: np.ndarray,
+        accepted_move_deltas: np.ndarray,
+        accepted_swap_positions: np.ndarray,
+    ) -> int:
+        """Commit one evaluated ``edge_color`` pass.  Strictly sequential,
+        shared verbatim by the vector and sharded engines (see
+        :meth:`_commit_edge`)."""
+        pos = self._pos
         consumed = limit
         resolved = 0
         reallocate = False
@@ -924,7 +1107,7 @@ class VectorCompressionChain(FastCompressionChain):
         )
         if tentative.size:
             accepted_move_delta = dict(
-                zip(accepted_move_positions.tolist(), legal_delta[metropolis_ok].tolist())
+                zip(accepted_move_positions.tolist(), accepted_move_deltas.tolist())
             )
             region = self._region_flag
             # Two stamp planes: occupancy touches (movements only) and

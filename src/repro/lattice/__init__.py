@@ -55,6 +55,7 @@ from repro.lattice.shapes import (
     spiral,
     staircase,
 )
+from repro.lattice.tiling import MIN_HALO, TiledGrid
 from repro.lattice.enumeration import (
     count_configurations,
     count_configurations_by_perimeter,
@@ -114,6 +115,8 @@ __all__ = [
     "ring",
     "spiral",
     "staircase",
+    "MIN_HALO",
+    "TiledGrid",
     "count_configurations",
     "count_configurations_by_perimeter",
     "enumerate_configurations",

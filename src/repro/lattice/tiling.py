@@ -1,0 +1,200 @@
+"""Rectangular tiling of a dense grid window, with halos.
+
+:class:`TiledGrid` partitions the ``width x height`` window of an
+:class:`~repro.core.fast_chain.OccupancyGrid` (or any dense row-major
+plane over it) into a ``tiles_x x tiles_y`` grid of rectangular tiles.
+Every cell is *owned* by exactly one tile; each tile additionally sees a
+*halo* — a border of cells owned by its neighbors — wide enough to cover
+every read a move proposal rooted in the tile can perform.
+
+Why the halo width is 2
+-----------------------
+A proposal sourced at cell ``s`` reads at most: its target (one lattice
+step away) and the eight-cell ring around the move edge.  On the
+triangular lattice's axial embedding every one of those cells lies within
+a Chebyshev distance of 2 from ``s`` (the ring spans the union of the
+source's and the target's neighborhoods), which is exactly the reach of
+the 256-entry move tables.  A halo of :data:`MIN_HALO` = 2 therefore
+guarantees that a proposal whose source a tile owns reads only cells
+inside that tile's halo window — the property
+:meth:`TiledGrid.halo_bounds` is specified by and the sharded engine's
+tests pin.
+
+The tiling is pure geometry: it never touches cell contents and holds no
+references to the planes it indexes, so one :class:`TiledGrid` can serve
+the occupancy plane and any auxiliary kernel plane of the same window
+simultaneously.  Ownership of a flat cell index is two integer divisions
+(:meth:`owner_of` is vectorized for whole proposal blocks), and
+:meth:`tile_view`/:meth:`halo_view` expose zero-copy numpy windows.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Smallest legal halo width: the Chebyshev reach of a move proposal's
+#: reads (target + eight-cell ring) from its source cell, i.e. the radius
+#: the 256-entry move tables consult.
+MIN_HALO = 2
+
+
+class TiledGrid:
+    """A ``tiles_x x tiles_y`` rectangular tiling of a grid window.
+
+    Parameters
+    ----------
+    width, height:
+        Dimensions of the window being tiled (cells).
+    tiles_x, tiles_y:
+        Tile counts along each axis; every tile is
+        ``ceil(width / tiles_x) x ceil(height / tiles_y)`` except the last
+        row/column, which absorb the remainder.
+    halo:
+        Halo width in cells; must be at least :data:`MIN_HALO` so a
+        proposal owned by a tile reads only cells in the tile's halo
+        window (see the module docstring).
+    """
+
+    __slots__ = (
+        "width",
+        "height",
+        "tiles_x",
+        "tiles_y",
+        "halo",
+        "tile_width",
+        "tile_height",
+    )
+
+    def __init__(
+        self, width: int, height: int, tiles_x: int, tiles_y: int, halo: int = MIN_HALO
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ConfigurationError(
+                f"the tiled window must be non-empty, got {width}x{height}"
+            )
+        if tiles_x <= 0 or tiles_y <= 0:
+            raise ConfigurationError(
+                f"tile counts must be positive, got {tiles_x}x{tiles_y}"
+            )
+        if tiles_x > width or tiles_y > height:
+            raise ConfigurationError(
+                f"cannot cut a {width}x{height} window into {tiles_x}x{tiles_y} "
+                f"non-empty tiles"
+            )
+        if halo < MIN_HALO:
+            raise ConfigurationError(
+                f"halo must be at least {MIN_HALO} (the move tables read up to "
+                f"{MIN_HALO} cells from a proposal's source), got {halo}"
+            )
+        self.width = width
+        self.height = height
+        self.tiles_x = tiles_x
+        self.tiles_y = tiles_y
+        self.halo = halo
+        # Ceil division: the last tile in each axis may be smaller, never
+        # larger, so ``coordinate // tile_dim`` is already a valid tile
+        # index for every in-window coordinate (no clipping on the hot path).
+        self.tile_width = -(-width // tiles_x)
+        self.tile_height = -(-height // tiles_y)
+
+    # ------------------------------------------------------------------ #
+    # Ownership
+    # ------------------------------------------------------------------ #
+    @property
+    def tile_count(self) -> int:
+        """Total number of tiles."""
+        return self.tiles_x * self.tiles_y
+
+    def owner_of(self, flats: np.ndarray) -> np.ndarray:
+        """The owning tile id of each flat cell index (vectorized).
+
+        Tile ids are row-major over the tile grid:
+        ``tile_y * tiles_x + tile_x``.
+        """
+        ys, xs = np.divmod(flats, self.width)
+        return (ys // self.tile_height) * self.tiles_x + xs // self.tile_width
+
+    def owner_of_flat(self, flat: int) -> int:
+        """Scalar convenience form of :meth:`owner_of`."""
+        y, x = divmod(flat, self.width)
+        return (y // self.tile_height) * self.tiles_x + x // self.tile_width
+
+    # ------------------------------------------------------------------ #
+    # Bounds and views
+    # ------------------------------------------------------------------ #
+    def tile_bounds(self, tile: int) -> Tuple[int, int, int, int]:
+        """The owned region of a tile as ``(x0, y0, x1, y1)``, end-exclusive."""
+        if not 0 <= tile < self.tile_count:
+            raise ConfigurationError(
+                f"tile id {tile} out of range for {self.tile_count} tiles"
+            )
+        ty, tx = divmod(tile, self.tiles_x)
+        x0 = tx * self.tile_width
+        y0 = ty * self.tile_height
+        return (
+            x0,
+            y0,
+            min(x0 + self.tile_width, self.width),
+            min(y0 + self.tile_height, self.height),
+        )
+
+    def halo_bounds(self, tile: int) -> Tuple[int, int, int, int]:
+        """The tile's owned region grown by ``halo`` cells, clipped to the window.
+
+        Every cell a proposal sourced in the tile reads lies inside these
+        bounds (sources never sit in the grid's guard band, which is at
+        least :data:`MIN_HALO` wide, so clipping never cuts a real read).
+        """
+        x0, y0, x1, y1 = self.tile_bounds(tile)
+        halo = self.halo
+        return (
+            max(x0 - halo, 0),
+            max(y0 - halo, 0),
+            min(x1 + halo, self.width),
+            min(y1 + halo, self.height),
+        )
+
+    def tile_view(self, plane: np.ndarray, tile: int) -> np.ndarray:
+        """Zero-copy view of a ``height x width`` plane over a tile's owned region."""
+        x0, y0, x1, y1 = self.tile_bounds(tile)
+        return plane[y0:y1, x0:x1]
+
+    def halo_view(self, plane: np.ndarray, tile: int) -> np.ndarray:
+        """Zero-copy view of a ``height x width`` plane over a tile's halo window."""
+        x0, y0, x1, y1 = self.halo_bounds(tile)
+        return plane[y0:y1, x0:x1]
+
+    # ------------------------------------------------------------------ #
+    # Boundary classification
+    # ------------------------------------------------------------------ #
+    def halo_touching(self, flats: np.ndarray) -> np.ndarray:
+        """Whether each flat index lies within ``halo`` cells of its tile's border.
+
+        A proposal sourced at such a cell may read cells owned by a
+        neighboring tile (its reads extend into the halo); proposals
+        sourced anywhere else read only cells their own tile owns, so any
+        two of them in *different* tiles commute.  The sharded engine does
+        not branch on this — its commit walk reconciles every cross-tile
+        interaction through the first-toucher stamps — but the
+        classification defines the commuting set documented in
+        ARCHITECTURE.md and exercised by the tiling tests.
+        """
+        ys, xs = np.divmod(np.asarray(flats), self.width)
+        tile_xs = xs % self.tile_width
+        tile_ys = ys % self.tile_height
+        halo = self.halo
+        # The last row/column of tiles may be truncated: measure distance
+        # to the tile's actual far edge, not the nominal tile dimension.
+        far_x = np.minimum(
+            (xs // self.tile_width + 1) * self.tile_width, self.width
+        ) - xs
+        far_y = np.minimum(
+            (ys // self.tile_height + 1) * self.tile_height, self.height
+        ) - ys
+        return (
+            (tile_xs < halo) | (tile_ys < halo) | (far_x <= halo) | (far_y <= halo)
+        )

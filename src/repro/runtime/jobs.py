@@ -68,6 +68,24 @@ def _validate_trace_store(trace_store: Any) -> None:
         )
 
 
+def _validate_engine_options(engine_options: Any) -> None:
+    """Job-level validation of the optional engine keyword arguments.
+
+    Only the shape is checked here (a keyword dict that can round-trip a
+    JSON checkpoint); whether the selected engine accepts the options is
+    the engine constructor's call, made in the worker.
+    """
+    if engine_options is None:
+        return
+    if not isinstance(engine_options, dict) or not all(
+        isinstance(key, str) for key in engine_options
+    ):
+        raise ConfigurationError(
+            f"engine_options must be a dict of keyword arguments (string "
+            f"keys, JSON-able values), got {engine_options!r}"
+        )
+
+
 def _open_job_sink(job: "Job", n: int):
     """Create the streaming trace sink for a job, or ``None`` without one.
 
@@ -121,7 +139,8 @@ class ChainJob:
         Explicit starting configuration as a tuple of ``(x, y)`` nodes.
     engine:
         Algorithm M engine: ``"fast"`` (default), ``"vector"`` (fastest
-        for ``n >= 1000``) or ``"reference"``.
+        single-core for ``n >= 1000``), ``"sharded"`` (tile-parallel
+        multi-core) or ``"reference"``.
     kind:
         ``"trace"`` runs ``iterations`` steps recording a metrics trace;
         ``"compression_time"`` runs until alpha-compression (or budget).
@@ -147,6 +166,14 @@ class ChainJob:
         instead of embedding the trace inline.  ``None`` (default) keeps
         traces purely in memory, byte-identical to before the field
         existed.
+    engine_options:
+        Optional engine-constructor keyword arguments (plain JSON dict),
+        forwarded through
+        :class:`~repro.core.compression.CompressionSimulation` — e.g.
+        ``{"tiles": [2, 2], "workers": 4}`` for ``engine="sharded"``.
+        ``None`` (default) forwards nothing and is omitted from the
+        checkpoint fingerprint, so documents from before the field
+        existed keep resuming.
     """
 
     job_id: str
@@ -163,6 +190,7 @@ class ChainJob:
     check_every: int = 2000
     metadata: Dict[str, Any] = field(default_factory=dict)
     trace_store: Optional[str] = None
+    engine_options: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not _JOB_ID_PATTERN.match(self.job_id):
@@ -186,6 +214,7 @@ class ChainJob:
                 f"got {type(self.seed).__name__}"
             )
         _validate_trace_store(self.trace_store)
+        _validate_engine_options(self.engine_options)
         if self.kind == "trace":
             if self.iterations < 0:
                 raise ConfigurationError(
@@ -286,7 +315,12 @@ def run_job(job: ChainJob) -> ChainResult:
     initial = job.build_initial()
     sink = _open_job_sink(job, initial.n)
     simulation = CompressionSimulation(
-        initial, lam=job.lam, seed=job.seed, engine=job.engine, trace_sink=sink
+        initial,
+        lam=job.lam,
+        seed=job.seed,
+        engine=job.engine,
+        trace_sink=sink,
+        engine_options=job.engine_options,
     )
     compression_time: Optional[int] = None
     if job.kind == "trace":
@@ -488,9 +522,9 @@ class SeparationJob:
 
     Attributes
     ----------
-    job_id, lam, seed, engine, iterations, record_every, metadata:
+    job_id, lam, seed, engine, iterations, record_every, metadata, engine_options:
         As on :class:`ChainJob` (``engine`` is ``"fast"``,
-        ``"reference"`` or ``"vector"``).
+        ``"reference"``, ``"vector"`` or ``"sharded"``).
     gamma:
         Homogeneity bias (``> 1`` segregates, ``< 1`` integrates).
     swap_probability:
@@ -522,6 +556,7 @@ class SeparationJob:
     kind: str = SEPARATION_JOB_KIND
     metadata: Dict[str, Any] = field(default_factory=dict)
     trace_store: Optional[str] = None
+    engine_options: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         from repro.algorithms.separation import SEPARATION_ENGINES
@@ -556,6 +591,7 @@ class SeparationJob:
                 f"iterations must be non-negative, got {self.iterations}"
             )
         _validate_trace_store(self.trace_store)
+        _validate_engine_options(self.engine_options)
 
     def build_initial(self):
         """Materialize the colored starting configuration.
@@ -594,6 +630,7 @@ def run_separation_job(job: SeparationJob) -> ChainResult:
         swap_probability=job.swap_probability,
         seed=job.seed,
         engine=job.engine,
+        engine_options=job.engine_options,
     )
     initial_homogeneous = colored.homogeneous_edges()
     sink = _open_job_sink(job, chain.chain.n)
@@ -644,6 +681,7 @@ class BridgingJob:
     kind: str = BRIDGING_JOB_KIND
     metadata: Dict[str, Any] = field(default_factory=dict)
     trace_store: Optional[str] = None
+    engine_options: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         from repro.algorithms.shortcut_bridging import BRIDGING_ENGINES
@@ -678,6 +716,7 @@ class BridgingJob:
                 f"iterations must be non-negative, got {self.iterations}"
             )
         _validate_trace_store(self.trace_store)
+        _validate_engine_options(self.engine_options)
 
     def build_terrain(self):
         """Materialize the V-shaped terrain described by the job."""
@@ -697,7 +736,13 @@ def run_bridging_job(job: BridgingJob) -> ChainResult:
     terrain = job.build_terrain()
     initial = initial_bridge_configuration(terrain, job.n)
     chain = BridgingMarkovChain(
-        initial, terrain, lam=job.lam, gamma=job.gamma, seed=job.seed, engine=job.engine
+        initial,
+        terrain,
+        lam=job.lam,
+        gamma=job.gamma,
+        seed=job.seed,
+        engine=job.engine,
+        engine_options=job.engine_options,
     )
     sink = _open_job_sink(job, chain.chain.n)
     trace = _trace_extension_chain(

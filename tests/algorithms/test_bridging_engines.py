@@ -2,13 +2,13 @@
 
 The shortcut-bridging chain of [2] runs on the shared engine stack via
 :class:`repro.core.kernels.BridgingKernel`; this file holds it to the
-same contract as the compression engines: lockstep reference/fast/vector
-bit-identity (the vector engine resolves proposals in numpy block passes
+same contract as the compression engines: lockstep
+reference/fast/vector/sharded bit-identity (the vector engine resolves proposals in numpy block passes
 against the terrain byte plane), block-run and mixed ``step()``/``run()``
 agreement at every chunk boundary, randomized invariants (connectivity;
 the incrementally maintained gap occupancy ``g(sigma)`` against the
 from-scratch terrain recomputation), and a committed golden trace pinned
-on all three engines.
+on all four engines.
 """
 
 import json
@@ -61,11 +61,11 @@ LOCKSTEP_CASES = (
 )
 
 
-def engine_trio(terrain, initial, lam, gamma, seed):
+def engine_quartet(terrain, initial, lam, gamma, seed):
     kwargs = dict(lam=lam, gamma=gamma, seed=seed)
     return tuple(
         BridgingMarkovChain(initial, terrain, engine=engine, **kwargs)
-        for engine in ("reference", "fast", "vector")
+        for engine in ("reference", "fast", "vector", "sharded")
     )
 
 
@@ -82,10 +82,10 @@ def assert_same_final_state(fast, reference, context=""):
 @pytest.mark.parametrize("name", LOCKSTEP_CASES)
 def test_lockstep_trajectories_are_identical(name):
     terrain, initial, lam, gamma, iterations = _case(name)
-    reference, fast, vector = engine_trio(terrain, initial, lam, gamma, seed=7)
+    reference, fast, vector, sharded = engine_quartet(terrain, initial, lam, gamma, seed=7)
     for iteration in range(iterations):
         expected = reference.chain.step()
-        for label, chain in (("fast", fast), ("vector", vector)):
+        for label, chain in (("fast", fast), ("vector", vector), ("sharded", sharded)):
             actual = chain.chain.step()
             assert actual == expected, (
                 f"{name}: trajectories diverged at iteration {iteration}: "
@@ -93,6 +93,7 @@ def test_lockstep_trajectories_are_identical(name):
             )
     assert_same_final_state(fast, reference, name)
     assert_same_final_state(vector, reference, name)
+    assert_same_final_state(sharded, reference, name)
 
 
 @pytest.mark.slow
@@ -103,16 +104,19 @@ def test_block_runs_match_lockstep_runs(name):
     cut, checked against the fast engine's gap occupancy at every chunk
     boundary."""
     terrain, initial, lam, gamma, iterations = _case(name)
-    reference, fast, vector = engine_trio(terrain, initial, lam, gamma, seed=19)
+    reference, fast, vector, sharded = engine_quartet(terrain, initial, lam, gamma, seed=19)
     for chunk in (1, 37, 700, 1024, iterations):
         reference.run(chunk)
         fast.run(chunk)
         vector.run(chunk)
+        sharded.run(chunk)
         assert fast.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
         assert vector.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
         assert vector.gap_occupancy() == fast.gap_occupancy(), f"{name}@{chunk}"
+        assert sharded.gap_occupancy() == fast.gap_occupancy(), f"{name}@{chunk}"
     assert_same_final_state(fast, reference, name)
     assert_same_final_state(vector, reference, name)
+    assert_same_final_state(sharded, reference, name)
 
 
 @pytest.mark.slow
@@ -145,15 +149,17 @@ def test_long_run_with_grid_reallocation_matches_reference():
     on the vector engine the guard-band re-center also rebuilds the aux
     plane the block pass reads)."""
     terrain = v_shaped_terrain(4)
-    reference, fast, vector = engine_trio(terrain, line(22), 1.0, 1.1, seed=13)
+    reference, fast, vector, sharded = engine_quartet(terrain, line(22), 1.0, 1.1, seed=13)
     reference.run(150_000)
     fast.run(150_000)
     vector.run(150_000)
+    sharded.run(150_000)
     assert_same_final_state(fast, reference)
     assert_same_final_state(vector, reference)
+    assert_same_final_state(sharded, reference)
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+@pytest.mark.parametrize("engine", ["reference", "fast", "vector", "sharded"])
 class TestInvariants:
     def test_gap_occupancy_matches_terrain_recomputation(self, engine):
         """The engines' incremental g(sigma) against the from-scratch count,
@@ -232,7 +238,7 @@ class TestGoldenTrace:
         terrain = v_shaped_terrain(golden["arm_length"], opening=golden["opening"])
         return terrain, initial_bridge_configuration(terrain, golden["n"])
 
-    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector", "sharded"])
     def test_engine_reproduces_golden_trace(self, golden, setup, engine):
         terrain, initial = setup
         chain = BridgingMarkovChain(
@@ -266,7 +272,7 @@ class TestGoldenTrace:
         assert chain.chain.rejection_counts == final["rejection_counts"]
         assert sorted(list(node) for node in chain.chain.occupied) == final["occupied"]
 
-    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector", "sharded"])
     def test_engine_run_reproduces_golden_final_state(self, golden, setup, engine):
         terrain, initial = setup
         chain = BridgingMarkovChain(

@@ -5,10 +5,11 @@ The separation chain of [9] runs on the shared engine stack via
 same contract as the compression engines:
 
 * **Lockstep differential:** seeded identically, the reference
-  (hash-map), fast (grid + color byte plane) and vector (numpy block
-  pass with aux-plane conflict cut) engines must produce bit-identical
-  trajectories — the same proposal each iteration, resolved the same
-  way, movements and color swaps alike.
+  (hash-map), fast (grid + color byte plane), vector (numpy block
+  pass with aux-plane conflict cut) and sharded (tile-parallel
+  evaluation) engines must produce bit-identical trajectories — the
+  same proposal each iteration, resolved the same way, movements and
+  color swaps alike.
 * **Block-run differential:** the vector engine's ``run()`` resolves
   whole blocks of proposals per numpy pass; it must land on the fast
   engine's exact state (occupancy *and* colors) at every chunk
@@ -18,7 +19,7 @@ same contract as the compression engines:
   across swaps, connectivity is preserved, and the incrementally
   maintained edge count matches a from-scratch recomputation.
 * **Golden trace:** a committed fixture pins the exact trajectory of a
-  standard start, so silent protocol changes fail loudly — on all three
+  standard start, so silent protocol changes fail loudly — on all four
   engines.
 """
 
@@ -57,11 +58,11 @@ LOCKSTEP_CASES = {
 }
 
 
-def engine_trio(colored, lam, gamma, swap_probability, seed):
+def engine_quartet(colored, lam, gamma, swap_probability, seed):
     kwargs = dict(lam=lam, gamma=gamma, swap_probability=swap_probability, seed=seed)
     return tuple(
         SeparationMarkovChain(colored, engine=engine, **kwargs)
-        for engine in ("reference", "fast", "vector")
+        for engine in ("reference", "fast", "vector", "sharded")
     )
 
 
@@ -79,10 +80,12 @@ def assert_same_final_state(fast, reference, context=""):
 @pytest.mark.parametrize("name", sorted(LOCKSTEP_CASES))
 def test_lockstep_trajectories_are_identical(name):
     colored, lam, gamma, swap_probability, iterations = LOCKSTEP_CASES[name]
-    reference, fast, vector = engine_trio(colored, lam, gamma, swap_probability, seed=7)
+    reference, fast, vector, sharded = engine_quartet(
+        colored, lam, gamma, swap_probability, seed=7
+    )
     for iteration in range(iterations):
         expected = reference.step()
-        for label, chain in (("fast", fast), ("vector", vector)):
+        for label, chain in (("fast", fast), ("vector", vector), ("sharded", sharded)):
             actual = chain.step()
             assert actual == expected, (
                 f"{name}: trajectories diverged at iteration {iteration}: "
@@ -90,6 +93,7 @@ def test_lockstep_trajectories_are_identical(name):
             )
     assert_same_final_state(fast, reference, name)
     assert_same_final_state(vector, reference, name)
+    assert_same_final_state(sharded, reference, name)
 
 
 @pytest.mark.slow
@@ -100,16 +104,21 @@ def test_block_runs_match_lockstep_runs(name):
     conflict cut, checked against the fast engine's colors at every
     chunk boundary."""
     colored, lam, gamma, swap_probability, iterations = LOCKSTEP_CASES[name]
-    reference, fast, vector = engine_trio(colored, lam, gamma, swap_probability, seed=19)
+    reference, fast, vector, sharded = engine_quartet(
+        colored, lam, gamma, swap_probability, seed=19
+    )
     for chunk in (1, 37, 700, 1024, iterations):  # straddles draw blocks
         reference.run(chunk)
         fast.run(chunk)
         vector.run(chunk)
+        sharded.run(chunk)
         assert fast.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
         assert vector.chain.edge_count == reference.chain.edge_count, f"{name}@{chunk}"
         assert vector.state.colors == fast.state.colors, f"{name}@{chunk}"
+        assert sharded.state.colors == fast.state.colors, f"{name}@{chunk}"
     assert_same_final_state(fast, reference, name)
     assert_same_final_state(vector, reference, name)
+    assert_same_final_state(sharded, reference, name)
 
 
 @pytest.mark.slow
@@ -141,15 +150,17 @@ def test_long_run_with_grid_reallocation_matches_reference():
     (which rebuild the fast engine's color plane — and, on the vector
     engine, carry the colors across the re-centered grid)."""
     colored = ColoredConfiguration.random_colors(line(25), seed=2)
-    reference, fast, vector = engine_trio(colored, 1.0, 1.2, 0.5, seed=13)
+    reference, fast, vector, sharded = engine_quartet(colored, 1.0, 1.2, 0.5, seed=13)
     reference.run(150_000)
     fast.run(150_000)
     vector.run(150_000)
+    sharded.run(150_000)
     assert_same_final_state(fast, reference)
     assert_same_final_state(vector, reference)
+    assert_same_final_state(sharded, reference)
 
 
-@pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+@pytest.mark.parametrize("engine", ["reference", "fast", "vector", "sharded"])
 class TestInvariants:
     def test_color_counts_conserved_and_connectivity_preserved(self, engine):
         for seed in range(4):
@@ -213,7 +224,7 @@ class TestGoldenTrace:
         assert rebuilt.colors == colored.colors
         return colored
 
-    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector", "sharded"])
     def test_engine_reproduces_golden_trace(self, golden, start, engine):
         chain = SeparationMarkovChain(
             start,
@@ -249,7 +260,7 @@ class TestGoldenTrace:
             [x, y, c] for (x, y), c in chain.state.colors.items()
         ) == final["colors"]
 
-    @pytest.mark.parametrize("engine", ["reference", "fast", "vector"])
+    @pytest.mark.parametrize("engine", ["reference", "fast", "vector", "sharded"])
     def test_engine_run_reproduces_golden_final_state(self, golden, start, engine):
         """The batched run() paths land on the committed final state too."""
         chain = SeparationMarkovChain(

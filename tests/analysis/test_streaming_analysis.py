@@ -25,6 +25,7 @@ from repro.analysis.statistics import (
     ensemble_summary,
     ensemble_summary_from_stores,
     integrated_autocorrelation_time,
+    resampled_ci_from_stores,
     streaming_ensemble_summary,
 )
 from repro.errors import AnalysisError
@@ -217,6 +218,77 @@ class TestEnsembleSummaryFromStores:
             ensemble_summary_from_stores(str(root), "nope")
         with pytest.raises(AnalysisError, match="no meta key"):
             ensemble_summary_from_stores(str(root), "alpha", by="job.nope")
+
+
+class TestResampledCiFromStores:
+    @pytest.fixture()
+    def store_ensemble(self, tmp_path):
+        jobs = [
+            dataclasses.replace(job, trace_store=str(tmp_path))
+            for job in replica_jobs(n=12, lam=4.0, iterations=600, replicas=3, seed=29)
+        ]
+        run_ensemble(jobs)
+        return tmp_path
+
+    def test_streamed_means_match_materialized_columns(self, store_ensemble):
+        from repro.io.trace_store import iter_trace_stores
+
+        readers = list(iter_trace_stores(store_ensemble))
+        for burn_in in (0.0, 0.25, 0.9):
+            rows = resampled_ci_from_stores(readers, "alpha", burn_in=burn_in)
+            materialized = []
+            for reader in readers:
+                column = reader.column("alpha")
+                column = column[int(burn_in * reader.num_rows) :]
+                materialized.append(float(np.asarray(column, dtype=float).mean()))
+            expected = float(np.mean(materialized))
+            assert len(rows) == 1
+            assert rows[0]["count"] == 3 and rows[0]["missing"] == 0
+            assert rows[0]["mean"] == pytest.approx(expected, abs=1e-10)
+            assert rows[0]["std_error"] == pytest.approx(
+                float(np.std(materialized, ddof=1) / math.sqrt(3)), abs=1e-10
+            )
+
+    def test_interval_brackets_mean_and_is_seed_deterministic(self, store_ensemble):
+        first = resampled_ci_from_stores(str(store_ensemble), "alpha", seed=7)
+        again = resampled_ci_from_stores(str(store_ensemble), "alpha", seed=7)
+        assert first == again
+        row = first[0]
+        assert row["ci_low"] <= row["mean"] <= row["ci_high"]
+
+    def test_group_by_dotted_meta_path(self, store_ensemble):
+        rows = resampled_ci_from_stores(str(store_ensemble), "alpha", by="job.seed")
+        assert len(rows) == 3
+        # Singleton groups carry a mean but no spread/interval.
+        for row in rows:
+            assert row["count"] == 1
+            assert row["mean"] is not None
+            assert row["std_error"] is None and row["ci_low"] is None
+
+    def test_empty_and_fully_burned_stores_count_as_missing(
+        self, store_ensemble, tmp_path
+    ):
+        from repro.io.trace_store import TraceStoreWriter, iter_trace_stores
+
+        readers = list(iter_trace_stores(store_ensemble))
+        TraceStoreWriter(tmp_path / "warming")
+        rows = resampled_ci_from_stores(
+            [*readers, TraceStoreReader(tmp_path / "warming")], "alpha"
+        )
+        assert rows[0]["count"] == 3 and rows[0]["missing"] == 1
+        # burn_in arbitrarily close to 1 keeps at least one row per store.
+        rows = resampled_ci_from_stores(readers, "alpha", burn_in=0.999)
+        assert rows[0]["count"] == 3 and rows[0]["missing"] == 0
+
+    def test_validation(self, store_ensemble):
+        with pytest.raises(AnalysisError, match="no column"):
+            resampled_ci_from_stores(str(store_ensemble), "nope")
+        with pytest.raises(AnalysisError, match="no meta key"):
+            resampled_ci_from_stores(str(store_ensemble), "alpha", by="job.nope")
+        with pytest.raises(AnalysisError, match="burn_in"):
+            resampled_ci_from_stores(str(store_ensemble), "alpha", burn_in=1.0)
+        with pytest.raises(AnalysisError, match="level"):
+            resampled_ci_from_stores(str(store_ensemble), "alpha", level=0.0)
 
 
 class TestHittingTimeFromRows:

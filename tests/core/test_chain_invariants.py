@@ -16,6 +16,7 @@ import pytest
 
 from repro.core.fast_chain import FastCompressionChain
 from repro.core.markov_chain import CompressionMarkovChain
+from repro.core.sharded_chain import ShardedCompressionChain
 from repro.core.vector_chain import VectorCompressionChain
 from repro.lattice.shapes import random_connected, random_hole_free
 
@@ -74,6 +75,26 @@ def test_randomized_invariants_vector_engine(seed, n, lam, hole_free):
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("seed,n,lam,hole_free", RUN_MATRIX[1::4])
+def test_randomized_invariants_sharded_engine(seed, n, lam, hole_free):
+    """The sharded engine's tile-parallel passes keep the same invariants
+    (with the tiled path forced on by a tiny shard threshold)."""
+    import repro.core.sharded_chain as sharded_chain
+
+    start = random_start(n, seed, hole_free)
+    hole_free_start = start.is_hole_free
+    chain = ShardedCompressionChain(start, lam=lam, seed=seed, tiles=(2, 2), workers=2)
+    original = sharded_chain._MIN_SHARD_PASS
+    sharded_chain._MIN_SHARD_PASS = 1
+    try:
+        for block in range(4):
+            chain.run(400)
+            check_invariants(chain, hole_free_start, f"sharded seed={seed} block={block}")
+    finally:
+        sharded_chain._MIN_SHARD_PASS = original
+
+
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", range(10))
 def test_randomized_invariants_reference_engine(seed):
     start = random_start(20, seed, hole_free=seed % 2 == 0)
@@ -84,7 +105,9 @@ def test_randomized_invariants_reference_engine(seed):
         check_invariants(chain, hole_free_start, f"reference seed={seed} block={block}")
 
 
-@pytest.mark.parametrize("engine", [FastCompressionChain, VectorCompressionChain])
+@pytest.mark.parametrize(
+    "engine", [FastCompressionChain, VectorCompressionChain, ShardedCompressionChain]
+)
 def test_holey_start_fallback_then_euler_lock_in(engine):
     """The fast engines' perimeter/hole fallback path for holey starts.
 

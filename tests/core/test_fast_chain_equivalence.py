@@ -30,6 +30,7 @@ from repro.core.fast_chain import (
 )
 from repro.core.markov_chain import CompressionMarkovChain
 from repro.core.properties import satisfies_either_property
+from repro.core.sharded_chain import ShardedCompressionChain
 from repro.core.vector_chain import VectorCompressionChain
 from repro.errors import ConfigurationError
 from repro.lattice.configuration import ParticleConfiguration
@@ -52,6 +53,7 @@ LOCKSTEP_CASES = {
 CANDIDATE_ENGINES = {
     "fast": FastCompressionChain,
     "vector": VectorCompressionChain,
+    "sharded": ShardedCompressionChain,
 }
 
 
@@ -162,7 +164,12 @@ def test_mixed_step_and_run_keeps_vector_engine_aligned():
 
 def test_constructor_error_parity():
     disconnected = ParticleConfiguration([(0, 0), (5, 5)])
-    for engine in (CompressionMarkovChain, FastCompressionChain, VectorCompressionChain):
+    for engine in (
+        CompressionMarkovChain,
+        FastCompressionChain,
+        VectorCompressionChain,
+        ShardedCompressionChain,
+    ):
         with pytest.raises(ConfigurationError):
             engine(disconnected, lam=4.0)
         with pytest.raises(ConfigurationError):
@@ -242,6 +249,44 @@ class TestOccupancyGrid:
         grid = OccupancyGrid(nodes)
         grid.recenter()
         assert sorted(grid.occupied_nodes()) == nodes
+
+    def test_recenter_reuses_buffers_when_dims_unchanged(self):
+        """A pure drift (same bounding box size) must not reallocate: the
+        fast path repaints the existing planes in place."""
+        nodes = sorted(line(20).nodes)
+        grid = OccupancyGrid(nodes)
+        cells_before, array_before = grid.cells, grid.array
+        # Translate the window by recentering around shifted extra nodes:
+        # same bbox dims, different origin.
+        shifted = [(x + 7, y - 3) for x, y in nodes]
+        for node in nodes:
+            grid.remove(node)
+        for node in shifted:
+            grid.add(node)
+        grid.recenter()
+        assert grid.cells is cells_before
+        assert grid.array is array_before
+        assert sorted(grid.occupied_nodes()) == sorted(shifted)
+
+    def test_recenter_reallocates_when_dims_change(self):
+        nodes = sorted(line(10).nodes)
+        grid = OccupancyGrid(nodes)
+        array_before = grid.array
+        grid.add((0, 30))  # grows the bounding box: fast path must not fire
+        grid.recenter()
+        assert grid.array is not array_before
+        assert sorted(grid.occupied_nodes()) == sorted(nodes + [(0, 30)])
+
+    def test_recenter_includes_extra_nodes_in_bbox(self):
+        """extra nodes widen the recenter bbox even when unoccupied."""
+        grid = OccupancyGrid([(0, 0), (4, 0)])
+        grid.recenter(extra=[(2, 10)])
+        assert grid.is_occupied((0, 0)) and grid.is_occupied((4, 0))
+        assert not grid.is_occupied((2, 10))
+        # The extra node must now sit inside the window (no recenter needed
+        # to add it).
+        flat = grid.flat_index((2, 10))
+        assert 0 <= flat < grid.width * grid.height
 
     def test_guard_band_membership_is_the_border(self):
         """in_guard_band (divmod arithmetic) marks exactly the border cells."""

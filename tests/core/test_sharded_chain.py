@@ -1,0 +1,312 @@
+"""The sharded engine: tiling geometry, partition invariance, bit-identity.
+
+Three layers of coverage for :mod:`repro.core.sharded_chain` and
+:mod:`repro.lattice.tiling`:
+
+* **Geometry:** :class:`~repro.lattice.tiling.TiledGrid` unit tests,
+  including the *halo-reach property* the whole design rests on — every
+  cell a proposal's evaluation reads (the two 8-cell rings of the move
+  tables) lies within Chebyshev distance :data:`~repro.lattice.tiling.MIN_HALO`
+  of the source, hence inside the owning tile's halo window.
+* **Partition invariance:** with the shard threshold forced down so the
+  tiled path handles every pass, the trajectory must be bit-identical to
+  the fast engine across tile layouts, halo widths and worker counts —
+  the engine's core promise.
+* **Plumbing:** ``engine="sharded"`` + ``engine_options`` through
+  :class:`~repro.core.compression.CompressionSimulation` and the runtime
+  job records, including the rejection paths for malformed options.
+
+The small-n lockstep and golden-trace coverage lives in the shared
+harnesses (``test_fast_chain_equivalence.py``, ``test_golden_trace.py``,
+and the algorithm engine files), which parametrize over all four engines.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.sharded_chain as sharded_chain
+from repro.core.compression import CompressionSimulation
+from repro.core.fast_chain import GUARD_BAND, RING_OFFSETS, FastCompressionChain
+from repro.core.sharded_chain import ShardedCompressionChain, _auto_tile_counts
+from repro.errors import ConfigurationError
+from repro.lattice.shapes import line, random_connected, spiral
+from repro.lattice.tiling import MIN_HALO, TiledGrid
+from repro.lattice.triangular import DIRECTIONS
+
+
+@pytest.fixture
+def tiny_shard_threshold(monkeypatch):
+    """Force the tiled path on for every pass, whatever its size."""
+    monkeypatch.setattr(sharded_chain, "_MIN_SHARD_PASS", 1)
+
+
+class TestTiledGrid:
+    def test_bounds_tile_the_window_exactly(self):
+        tiling = TiledGrid(100, 70, 4, 3)
+        seen = np.zeros((70, 100), dtype=int)
+        for tile in range(tiling.tile_count):
+            x0, y0, x1, y1 = tiling.tile_bounds(tile)
+            assert x0 < x1 and y0 < y1
+            seen[y0:y1, x0:x1] += 1
+        # A partition: every cell in exactly one tile.
+        assert (seen == 1).all()
+
+    def test_owner_matches_tile_bounds(self):
+        tiling = TiledGrid(37, 23, 3, 4)  # truncated last row and column
+        for y in range(23):
+            for x in range(37):
+                tile = int(tiling.owner_of(np.array([y * 37 + x]))[0])
+                x0, y0, x1, y1 = tiling.tile_bounds(tile)
+                assert x0 <= x < x1 and y0 <= y < y1, (x, y, tile)
+
+    def test_scalar_and_vector_owner_agree(self):
+        tiling = TiledGrid(64, 64, 4, 2)
+        flats = np.arange(64 * 64)
+        owners = tiling.owner_of(flats)
+        assert [tiling.owner_of_flat(int(f)) for f in flats[::97]] == [
+            int(o) for o in owners[::97]
+        ]
+
+    def test_halo_bounds_grow_by_halo_and_clip_to_window(self):
+        tiling = TiledGrid(100, 100, 2, 2, halo=3)
+        x0, y0, x1, y1 = tiling.tile_bounds(0)
+        hx0, hy0, hx1, hy1 = tiling.halo_bounds(0)
+        assert (hx0, hy0) == (0, 0)  # clipped at the window edge
+        assert (hx1, hy1) == (x1 + 3, y1 + 3)
+
+    def test_views_share_memory(self):
+        tiling = TiledGrid(40, 40, 2, 2)
+        plane = np.zeros((40, 40), dtype=np.int8)
+        view = tiling.tile_view(plane, 3)
+        view[:] = 7
+        x0, y0, x1, y1 = tiling.tile_bounds(3)
+        assert (plane[y0:y1, x0:x1] == 7).all()
+        assert plane.sum() == 7 * (x1 - x0) * (y1 - y0)
+        halo_view = tiling.halo_view(plane, 0)
+        assert halo_view.base is plane
+
+    def test_halo_touching_flags_border_band(self):
+        tiling = TiledGrid(20, 20, 2, 2, halo=2)
+        flats = np.arange(400)
+        touching = tiling.halo_touching(flats)
+        for flat in range(400):
+            y, x = divmod(flat, 20)
+            tile = tiling.owner_of_flat(flat)
+            x0, y0, x1, y1 = tiling.tile_bounds(tile)
+            expected = (
+                x - x0 < 2 or x1 - x < 3 or y - y0 < 2 or y1 - y < 3
+            )
+            assert bool(touching[flat]) == expected, (x, y)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TiledGrid(10, 10, 0, 2)
+        with pytest.raises(ConfigurationError):
+            TiledGrid(10, 10, 11, 1)  # more tiles than columns
+        with pytest.raises(ConfigurationError):
+            TiledGrid(10, 10, 2, 2, halo=MIN_HALO - 1)
+        with pytest.raises(ConfigurationError):
+            TiledGrid(0, 10, 1, 1)
+
+    def test_halo_reach_property(self):
+        """Every cell a proposal's evaluation reads lies inside the owning
+        tile's halo window.
+
+        The move tables read the 8-cell rings around the source and the
+        target; the target is one step from the source, so all reads sit
+        within Chebyshev distance MIN_HALO of the source.  Sources are
+        never in the guard band, so the halo window (clipped to the
+        window) covers every read.
+        """
+        read_offsets = set()
+        for direction, (dx, dy) in enumerate(DIRECTIONS):
+            for rx, ry in RING_OFFSETS[direction]:
+                read_offsets.add((rx, ry))  # source ring (direction-tagged)
+            read_offsets.add((dx, dy))
+        reach = max(max(abs(dx), abs(dy)) for dx, dy in read_offsets)
+        assert reach <= MIN_HALO, "move tables read beyond the declared halo"
+
+        tiling = TiledGrid(33, 29, 3, 2, halo=MIN_HALO)
+        for y in range(GUARD_BAND, 29 - GUARD_BAND):
+            for x in range(GUARD_BAND, 33 - GUARD_BAND):
+                tile = tiling.owner_of_flat(y * 33 + x)
+                hx0, hy0, hx1, hy1 = tiling.halo_bounds(tile)
+                for dx, dy in read_offsets:
+                    assert hx0 <= x + dx < hx1 and hy0 <= y + dy < hy1, (
+                        f"read at ({x + dx}, {y + dy}) escapes the halo of "
+                        f"tile {tile} for a source at ({x}, {y})"
+                    )
+
+
+class TestAutoTileCounts:
+    def test_at_least_two_by_two_and_longer_axis_cut_more(self):
+        tiles_x, tiles_y = _auto_tile_counts(300, 100, 4)
+        assert tiles_x >= tiles_y and tiles_x * tiles_y == 4
+        tiles_x, tiles_y = _auto_tile_counts(100, 300, 7)
+        assert tiles_y >= tiles_x and tiles_x * tiles_y == 8  # rounded up
+
+    def test_degenerate_windows_shrink_tile_counts(self):
+        tiles_x, tiles_y = _auto_tile_counts(3, 500, 16)
+        assert tiles_x == 1  # a 3-wide window cannot host 2-wide tiles
+
+
+class TestPartitionInvariance:
+    """The trajectory must not depend on tiles, halo or workers."""
+
+    LAYOUTS = [
+        {"tiles": (2, 2), "workers": 1},
+        {"tiles": (2, 2), "workers": 2},
+        {"tiles": (4, 1), "workers": 3},
+        {"tiles": (3, 5), "workers": 2, "halo": 4},
+        {"tiles": 8, "workers": 2},
+        {"tiles": None, "workers": 2},
+    ]
+
+    @pytest.mark.parametrize("layout", LAYOUTS, ids=[str(l) for l in LAYOUTS])
+    def test_trajectory_matches_fast_engine(self, layout, tiny_shard_threshold):
+        initial = random_connected(60, seed=5)
+        fast = FastCompressionChain(initial, lam=4.0, seed=11)
+        engine = ShardedCompressionChain(initial, lam=4.0, seed=11, **layout)
+        for chunk in (700, 1024, 3000):
+            fast.run(chunk)
+            engine.run(chunk)
+            assert engine.edge_count == fast.edge_count, layout
+        assert engine.occupied == fast.occupied
+        assert engine.rejection_counts == fast.rejection_counts
+        assert engine.accepted_moves == fast.accepted_moves
+
+    def test_layouts_agree_with_each_other(self, tiny_shard_threshold):
+        initial = spiral(50)
+        runs = []
+        for layout in self.LAYOUTS[:3]:
+            engine = ShardedCompressionChain(initial, lam=5.0, seed=3, **layout)
+            engine.run(4000)
+            runs.append((engine.occupied, engine.rejection_counts))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_rebinds_tiling_after_grid_recenter(self, tiny_shard_threshold):
+        """Unbiased drift forces re-centers; the tiling must follow the
+        window and the trajectory must stay pinned to the fast engine."""
+        initial = line(30)
+        fast = FastCompressionChain(initial, lam=1.0, seed=13)
+        engine = ShardedCompressionChain(initial, lam=1.0, seed=13, tiles=(2, 2), workers=2)
+        fast.run(60_000)
+        engine.run(60_000)
+        assert engine.occupied == fast.occupied
+        assert engine.rejection_counts == fast.rejection_counts
+        tiling = engine._tiling
+        assert (tiling.width, tiling.height) == (engine.grid.width, engine.grid.height)
+
+    def test_small_passes_fall_back_to_plain_vector_path(self):
+        """Below the shard threshold the engine must not fan out (the
+        per-tile numpy calls would cost more than they win)."""
+        engine = ShardedCompressionChain(line(20), lam=4.0, seed=0, tiles=(2, 2))
+        sources = np.arange(8)
+        assert engine._tile_groups(sources) is None
+
+
+class TestConstructionAndOptions:
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShardedCompressionChain(line(10), lam=4.0, workers=0)
+        with pytest.raises(ConfigurationError):
+            ShardedCompressionChain(line(10), lam=4.0, halo=MIN_HALO - 1)
+        with pytest.raises(ConfigurationError):
+            ShardedCompressionChain(line(10), lam=4.0, tiles=0)
+        with pytest.raises(ConfigurationError):
+            ShardedCompressionChain(line(10), lam=4.0, tiles="lots")
+
+    def test_tiles_accepts_list_from_json_roundtripped_options(self):
+        engine = ShardedCompressionChain(line(10), lam=4.0, seed=0, tiles=[2, 2])
+        assert engine._tiling.tiles_x == 2 and engine._tiling.tiles_y == 2
+
+    def test_simulation_threads_engine_options(self):
+        simulation = CompressionSimulation(
+            line(30),
+            lam=4.0,
+            seed=1,
+            engine="sharded",
+            engine_options={"tiles": (2, 2), "workers": 1},
+        )
+        assert isinstance(simulation.chain, ShardedCompressionChain)
+        baseline = CompressionSimulation(line(30), lam=4.0, seed=1, engine="fast")
+        simulation.run(3000)
+        baseline.run(3000)
+        assert simulation.chain.occupied == baseline.chain.occupied
+
+    def test_simulation_rejects_unknown_engine_options(self):
+        with pytest.raises(ConfigurationError, match="rejected engine_options"):
+            CompressionSimulation(
+                line(10), lam=4.0, engine="sharded", engine_options={"nope": 1}
+            )
+        with pytest.raises(ConfigurationError, match="rejected engine_options"):
+            CompressionSimulation(
+                line(10), lam=4.0, engine="fast", engine_options={"workers": 2}
+            )
+
+    def test_job_roundtrip_and_validation(self):
+        from repro.runtime.checkpoint import job_from_json, job_to_json
+        from repro.runtime.jobs import ChainJob
+
+        job = ChainJob(
+            job_id="sharded-roundtrip",
+            n=20,
+            lam=4.0,
+            iterations=500,
+            seed=0,
+            engine="sharded",
+            engine_options={"tiles": [2, 2], "workers": 1},
+        )
+        assert job_from_json(job_to_json(job)) == job
+        with pytest.raises(ConfigurationError):
+            ChainJob(
+                job_id="bad-options-type", n=20, lam=4.0, seed=0, iterations=1,
+                engine_options=[("tiles", 2)],
+            )
+        with pytest.raises(ConfigurationError):
+            ChainJob(
+                job_id="bad-options-key", n=20, lam=4.0, seed=0, iterations=1,
+                engine_options={1: "x"},
+            )
+
+    def test_job_run_matches_fast_engine(self):
+        from repro.runtime.jobs import ChainJob, run_job
+
+        sharded = run_job(
+            ChainJob(
+                job_id="sharded-job",
+                n=24,
+                lam=4.0,
+                iterations=2000,
+                seed=5,
+                engine="sharded",
+                engine_options={"tiles": [2, 2], "workers": 1},
+            )
+        )
+        fast = run_job(
+            ChainJob(job_id="fast-job", n=24, lam=4.0, iterations=2000, seed=5, engine="fast")
+        )
+        assert sharded.accepted_moves == fast.accepted_moves
+        assert sharded.rejection_counts == fast.rejection_counts
+        assert sharded.final_point().alpha == fast.final_point().alpha
+
+
+@pytest.mark.slow
+class TestShardedLockstepSmallInstance:
+    """Tier-1-style shard equivalence at 2x2 tiles with the tiled path
+    forced on: lockstep step() agreement plus batched-run agreement."""
+
+    def test_lockstep_vs_fast(self, tiny_shard_threshold):
+        initial = random_connected(40, seed=17)
+        fast = FastCompressionChain(initial, lam=4.0, seed=23)
+        engine = ShardedCompressionChain(
+            initial, lam=4.0, seed=23, tiles=(2, 2), workers=2
+        )
+        for iteration in range(1500):
+            assert engine.step() == fast.step(), f"diverged at {iteration}"
+        for chunk in (911, 2048, 1500):
+            fast.run(chunk)
+            engine.run(chunk)
+            assert engine.edge_count == fast.edge_count, chunk
+        assert engine.occupied == fast.occupied
+        assert engine.rejection_counts == fast.rejection_counts

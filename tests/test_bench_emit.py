@@ -71,6 +71,9 @@ def test_key_matching_rules_are_pinned(emit):
         "fast_activations_per_second",
         "reference_activations_per_second",
         "iterations_per_second_n1000",
+        "it_per_s",
+        "sharded_it_per_s_n100000",
+        "vector_it_per_s",
         "speedup",
         "speedup_n1000",
         "vector_speedup",
